@@ -1,0 +1,73 @@
+"""Ablation: safety-certificate issue and verification cost.
+
+Section 6 sketches using the system "as a front-end for a certifying
+compiler ... safety certificates in proof-carrying code".  The
+consumer-side cost model matters there: re-validating the shipped
+obligations must be cheap relative to full type checking.  This
+benchmark measures, over the whole corpus:
+
+* issuing certificates from checked programs (producer side),
+* verifying them with the independent Omega backend (consumer side),
+* and, for comparison, the full static pipeline the consumer avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, programs
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS
+from repro.compile.certificate import issue_certificate, verify_certificate
+
+_CORPUS = [WORKLOADS[d].program for d in TABLE_ORDER]
+
+
+def test_whole_corpus_certifiable():
+    for program in _CORPUS:
+        cert = issue_certificate(api.check_corpus(program))
+        assert cert.obligation_count > 0
+        assert verify_certificate(cert, backend="omega").valid, program
+
+
+def test_certificate_beats_recheck():
+    """Verifying a certificate re-solves goals but skips parsing,
+    inference and elaboration: strictly fewer steps than check()."""
+    import time
+
+    reports = {p: api.check_corpus(p) for p in _CORPUS}
+    certs = {p: issue_certificate(r) for p, r in reports.items()}
+
+    started = time.perf_counter()
+    for cert in certs.values():
+        assert verify_certificate(cert, backend="fourier").valid
+    verify_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for program in _CORPUS:
+        api.check_corpus(program)
+    recheck_time = time.perf_counter() - started
+
+    # Not a strict performance assertion (machines vary); just require
+    # the consumer path to not be slower than twice the full pipeline.
+    assert verify_time < 2 * recheck_time
+
+
+@pytest.mark.parametrize("engine", ["issue", "verify-omega", "verify-fourier"])
+def test_certificate_pipeline(benchmark, engine):
+    reports = {p: api.check_corpus(p) for p in _CORPUS}
+    if engine == "issue":
+        def run():
+            return [issue_certificate(r) for r in reports.values()]
+
+        certs = benchmark(run)
+        assert all(c.obligation_count > 0 for c in certs)
+        return
+
+    backend = engine.split("-")[1]
+    certs = [issue_certificate(r) for r in reports.values()]
+
+    def run():
+        return [verify_certificate(c, backend=backend) for c in certs]
+
+    results = benchmark(run)
+    assert all(r.valid for r in results)

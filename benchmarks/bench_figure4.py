@@ -1,0 +1,71 @@
+"""Figure 4: the sample constraints generated from binary search.
+
+The paper lists five universally quantified implications, all about
+``l + (h - l) div 2`` staying within ``[0, size)`` (or the recursive
+calls' strengthened variants), under the hypotheses contributed by
+look's annotation and the ``hi >= lo`` branch.  This benchmark
+regenerates them from our elaborator and times the Fourier backend on
+exactly those goals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.bench.harness import figure4
+from repro.solver.backends import get_backend
+from repro.solver.simplify import prove_goal
+
+
+def _div_goals():
+    report = api.check_corpus("bsearch")
+    store = report.elab.store
+    goals = []
+    for result in report.goal_results:
+        text = str(store.resolve(result.goal.concl)) + " ".join(
+            str(store.resolve(h)) for h in result.goal.hyps
+        )
+        if "div" in text:
+            goals.append((result.goal, store))
+    return goals
+
+
+def test_figure4_constraints_present():
+    lines = figure4()
+    # The paper shows five sample constraints; our elaboration produces
+    # at least that many div-involving goals for the same function.
+    assert len(lines) >= 5
+    assert all(line.startswith("[solved]") for line in lines)
+    # The midpoint expression of Figure 4 appears in each.
+    assert all("div((h - l), 2)" in line for line in lines)
+
+
+def test_figure4_hypotheses_match_paper():
+    """Each goal carries look's annotation hypotheses:
+    0 <= l <= size and 0 <= h+1 <= size and h >= l."""
+    for goal, store in _div_goals():
+        hyps = " ".join(str(store.resolve(h)) for h in goal.hyps)
+        assert "l <= size" in hyps
+        assert "(h + 1) <= size" in hyps
+        assert "h >= l" in hyps
+
+
+def test_figure4_solving(benchmark):
+    goals = _div_goals()
+    backend = get_backend("fourier")
+
+    def run():
+        return [prove_goal(goal, store, backend) for goal, store in goals]
+
+    results = benchmark(run)
+    assert all(r.proved for r in results)
+
+
+@pytest.mark.parametrize("backend_name", ["fourier", "omega", "simplex"])
+def test_figure4_all_backends_solve(backend_name):
+    """Figure 4's constraints are rationally refutable after the div
+    elimination, so every backend handles them."""
+    backend = get_backend(backend_name)
+    for goal, store in _div_goals():
+        assert prove_goal(goal, store, backend).proved

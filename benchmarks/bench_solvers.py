@@ -1,0 +1,83 @@
+"""Ablation: constraint-solver backends on the corpus goal set.
+
+Section 3.2 chose Fourier elimination "mainly for its simplicity" and
+added the gcd rounding rule for modular arithmetic; Section 6 plans to
+adopt the Omega test.  This benchmark compares all four backends on the
+complete proof-goal corpus:
+
+* proving power — Fourier-with-tightening and Omega discharge every
+  goal; the two rational-only backends miss exactly the integer
+  (divisibility) goals of bcopy4;
+* speed — the simple incomplete method is competitive, which is the
+  paper's justification for using it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, programs
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS
+from repro.solver.backends import backend_names, get_backend
+from repro.solver.simplify import SolveStats, prove_all
+
+_CORPUS = [WORKLOADS[d].program for d in TABLE_ORDER]
+
+
+def _all_constraints():
+    bundles = []
+    for program in _CORPUS:
+        report = api.check_corpus(program)
+        bundles.append((report.elab.decl_constraints, report.elab.store))
+    return bundles
+
+
+@pytest.mark.parametrize("backend_name", backend_names())
+def test_backend_on_corpus(benchmark, backend_name):
+    bundles = _all_constraints()
+    backend = get_backend(backend_name)
+
+    def run():
+        stats = SolveStats()
+        for decl_constraints, store in bundles:
+            for dc in decl_constraints:
+                prove_all(dc.constraint, store, backend, stats)
+        return stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["proved"] = stats.proved
+    benchmark.extra_info["total"] = stats.goals
+    if backend_name in {"fourier", "omega"}:
+        assert stats.proved == stats.goals, (
+            f"{backend_name} should prove the whole corpus"
+        )
+    else:
+        # The rational backends miss the divisibility goals of bcopy4
+        # and nothing else.
+        assert stats.proved < stats.goals
+
+
+def test_rational_gap_is_exactly_bcopy4():
+    """The only corpus goals needing integer reasoning come from the
+    unrolled byte copy (the paper's motivation for gcd tightening)."""
+    for program in _CORPUS:
+        full = api.check_corpus(program, backend="fourier")
+        rational = api.check_corpus(program, backend="fourier-rational")
+        assert full.all_proved
+        if program == "bcopy":
+            assert not rational.all_proved
+            failed_lines = {
+                rational.source.line_col(r.goal.span.start)[0] if hasattr(
+                    rational.source, "line_col") else 0
+                for r in rational.failed_goals
+            }
+            assert failed_lines  # all inside bcopy4's copy4 loop
+        else:
+            assert rational.all_proved, program
+
+
+def test_tightening_toggle_matches_backends():
+    """fourier with tightening off == the fourier-rational backend."""
+    report_a = api.check_corpus("bcopy", backend="fourier-rational")
+    report_b = api.check_corpus("bcopy", backend="simplex")
+    assert report_a.stats.proved == report_b.stats.proved

@@ -1,0 +1,74 @@
+"""Table 2: run time with vs. without array bound / list tag checks.
+
+For every benchmark program two timings are taken on the generated
+Python backend: one with every check site compiled *checked*, one with
+the statically discharged sites compiled *unchecked*.  The paper's
+claim is directional — the without-checks build is faster, with gains
+concentrated in access-dense inner loops — and the instrumented build
+supplies the exact dynamic count of eliminated checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import checked_report
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS
+from repro.compile import support
+from repro.compile.pycodegen import compile_program
+
+
+def _module(display: str, unchecked: bool, instrument: bool = False):
+    workload = WORKLOADS[display]
+    report = checked_report(workload.program)
+    sites = report.eliminable_sites() if unchecked else set()
+    module = compile_program(
+        report.program, report.env, sites, workload.program,
+        instrument=instrument,
+    )
+    module.load()
+    return workload, module
+
+
+@pytest.mark.parametrize("display", TABLE_ORDER)
+def test_with_checks(benchmark, preset, display):
+    workload, module = _module(display, unchecked=False)
+
+    def run():
+        args = workload.args_for(preset, "compiled")
+        return module.call(workload.entry, *args)
+
+    result = benchmark(run)
+    assert workload.validate(result, workload.params(preset))
+
+
+@pytest.mark.parametrize("display", TABLE_ORDER)
+def test_without_checks(benchmark, preset, display):
+    workload, module = _module(display, unchecked=True)
+
+    def run():
+        args = workload.args_for(preset, "compiled")
+        return module.call(workload.entry, *args)
+
+    result = benchmark(run)
+    assert workload.validate(result, workload.params(preset))
+    # Attach the dynamic eliminated-check count from one instrumented run.
+    _, counting = _module(display, unchecked=True, instrument=True)
+    support.COUNTERS.reset()
+    counting.call(workload.entry, *workload.args_for(preset, "compiled"))
+    benchmark.extra_info["checks_eliminated"] = support.COUNTERS.eliminated
+    benchmark.extra_info["checks_performed"] = support.COUNTERS.performed
+
+
+@pytest.mark.parametrize("display", TABLE_ORDER)
+def test_checked_and_unchecked_agree(preset, display):
+    """Both builds compute identical results (elimination is sound on
+    the benchmark inputs)."""
+    workload, with_checks = _module(display, unchecked=False)
+    _, without_checks = _module(display, unchecked=True)
+    args_a = workload.args_for(preset, "compiled")
+    args_b = workload.args_for(preset, "compiled")
+    result_a = with_checks.call(workload.entry, *args_a)
+    result_b = without_checks.call(workload.entry, *args_b)
+    assert result_a == result_b
+    assert args_a == args_b  # identical mutations (sorts, copies)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload sizes default to the ``small`` preset so the suite completes
+quickly; set ``REPRO_BENCH_PRESET=default`` (or ``paper``) to scale up.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import api
+from repro.bench.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "small")
+
+
+_REPORT_CACHE: dict[str, object] = {}
+
+
+def checked_report(program: str):
+    """A cached CheckReport for a corpus program (static pipeline runs
+    once per session, not once per benchmark round)."""
+    if program not in _REPORT_CACHE:
+        report = api.check_corpus(program)
+        assert report.all_proved, f"{program} failed to type-check"
+        _REPORT_CACHE[program] = report
+    return _REPORT_CACHE[program]
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return WORKLOADS

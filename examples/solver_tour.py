@@ -1,0 +1,83 @@
+"""A tour of the constraint solvers (Section 3.2).
+
+Shows the decision backends on hand-built linear systems:
+
+* plain Fourier elimination refutes rationally infeasible systems;
+* the gcd tightening rule catches divisibility conflicts the rational
+  methods miss (the byte-copy scenario);
+* Pugh's Omega test is exact, refuting even the classic dark-shadow
+  instance that survives tightening.
+
+Run:  python examples/solver_tour.py
+"""
+
+from repro.indices.linear import Atom, LinComb
+from repro.solver.backends import backend_names, get_backend
+from repro.solver.bruteforce import find_model
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+SYSTEMS = {
+    # x >= 1 /\ x <= -1: plainly unsatisfiable.
+    "plain contradiction": [
+        Atom(">=", var("x") + const(-1)),
+        Atom(">=", -var("x") + const(-1)),
+    ],
+    # 3 <= 2x <= 3: the only solution is x = 3/2 -- integrally empty.
+    "parity gap (needs tightening)": [
+        Atom(">=", var("x", 2) + const(-3)),
+        Atom(">=", var("x", -2) + const(3)),
+    ],
+    # Pugh's example: rational solutions exist, integer ones do not,
+    # and tightening alone cannot see it.
+    "Pugh dark shadow (needs Omega)": [
+        Atom(">=", var("x", 11) + var("y", 13) + const(-27)),
+        Atom(">=", var("x", -11) + var("y", -13) + const(45)),
+        Atom(">=", var("x", 7) + var("y", -9) + const(10)),
+        Atom(">=", var("x", -7) + var("y", 9) + const(4)),
+    ],
+    # 0 <= x <= 10: satisfiable; no backend may claim otherwise.
+    "satisfiable box": [
+        Atom(">=", var("x")),
+        Atom(">=", -var("x") + const(10)),
+    ],
+}
+
+
+def main() -> None:
+    names = backend_names()
+    width = max(len(n) for n in SYSTEMS)
+    header = f"{'system'.ljust(width)}  " + "  ".join(
+        f"{n:>17s}" for n in names
+    ) + "  brute-force model"
+    print(header)
+    print("-" * len(header))
+    for label, atoms in SYSTEMS.items():
+        cells = []
+        for name in names:
+            verdict = get_backend(name).unsat(atoms)
+            cells.append(f"{'UNSAT' if verdict else 'sat?':>17s}")
+        model = find_model(atoms, 8)
+        model_text = "none in [-8,8]^n" if model is None else str(model)
+        print(f"{label.ljust(width)}  " + "  ".join(cells) + f"  {model_text}")
+
+    print()
+    print("Reading the table:")
+    print(" * every backend refutes the plain contradiction;")
+    print(" * the parity gap needs integer reasoning: fourier (with the")
+    print("   paper's gcd rule) and omega catch it, the rational-only")
+    print("   backends do not;")
+    print(" * the dark-shadow instance defeats tightening too -- only")
+    print("   the Omega test (the paper's planned extension) refutes it;")
+    print(" * nobody wrongly refutes the satisfiable box (soundness).")
+
+
+if __name__ == "__main__":
+    main()

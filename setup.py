@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs in offline environments lacking
+the ``wheel`` package; all real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — reproduction of Xi & Pfenning, PLDI 1998:
+"Eliminating Array Bound Checking Through Dependent Types".
+
+A complete implementation of DML-lite: a dependently typed mini-ML
+whose type checker discharges array-bound and list-tag obligations
+with a Fourier-elimination constraint solver, so that the compiler can
+drop the corresponding run-time checks.
+
+Quick start::
+
+    from repro import check, check_corpus
+
+    report = check(source_text)
+    if report.all_proved:
+        unchecked = report.eliminable_sites()
+"""
+
+from repro.api import CheckReport, check, check_corpus
+
+__version__ = "1.0.0"
+
+__all__ = ["CheckReport", "check", "check_corpus", "__version__"]

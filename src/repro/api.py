@@ -1,0 +1,226 @@
+"""The public pipeline API.
+
+Typical use::
+
+    from repro import api
+
+    report = api.check(source)          # parse + both phases + solve
+    assert report.all_proved
+    print(report.summary())
+
+    result = api.run(source, "main", [5])   # interpret with counters
+
+``check`` realizes the paper's whole static side: ML inference,
+dependent elaboration, constraint generation, existential-variable
+elimination and Fourier solving; the returned :class:`CheckReport`
+carries the per-goal results, per-site elimination decisions, and the
+statistics reported in Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import programs
+from repro.core.elaborate import ElabResult, SiteInfo, elaborate_program
+from repro.core.env import GlobalEnv
+from repro.core.ml_infer import MLInferencer
+from repro.indices import constraints as cs
+from repro.indices.terms import EvarStore
+from repro.lang import ast
+from repro.lang.errors import UnsolvedConstraint
+from repro.lang.parser import parse_program
+from repro.lang.source import SourceFile
+from repro.solver.backends import Backend, get_backend
+from repro.solver.simplify import GoalResult, SolveStats, prove_all
+
+
+@dataclass
+class CheckReport:
+    """Result of statically checking one program."""
+
+    name: str
+    source: SourceFile
+    program: ast.Program
+    env: GlobalEnv
+    elab: ElabResult
+    goal_results: list[GoalResult]
+    stats: SolveStats
+    #: Wall-clock seconds for constraint generation (both phases).
+    generation_seconds: float
+    #: Wall-clock seconds spent in the solver.
+    solve_seconds: float
+    #: Index-unreachable branches: warnings, not errors.
+    warnings: list[str] = field(default_factory=list)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        """Atomic obligations generated (Table 1's "constraints")."""
+        return self.elab.count_constraints()
+
+    @property
+    def all_proved(self) -> bool:
+        return all(result.proved for result in self.goal_results)
+
+    @property
+    def failed_goals(self) -> list[GoalResult]:
+        return [r for r in self.goal_results if not r.proved]
+
+    @property
+    def sites(self) -> dict[str, SiteInfo]:
+        return self.elab.sites
+
+    def site_proved(self, site_id: str) -> bool:
+        """Did every obligation attached to this call site discharge?"""
+        return all(
+            r.proved for r in self.goal_results if r.goal.origin == site_id
+        )
+
+    @property
+    def structural_ok(self) -> bool:
+        """Did every *structural* goal discharge?
+
+        Structural goals (empty origin) validate the program's
+        annotations: argument guards at user-function call sites,
+        result subsumptions, existential witnesses.  Site-tagged goals
+        only justify individual access checks, and ``guard:``-tagged
+        goals only a division's partiality condition.
+        """
+        return all(
+            r.proved for r in self.goal_results if not r.goal.origin
+        )
+
+    def eliminable_sites(self) -> set[str]:
+        """Check sites whose run-time check may be omitted.
+
+        Sound policy (see DESIGN.md): a site is eliminable when every
+        structural goal holds — so all annotated invariants the site's
+        proof assumes are established — and the site's own obligations
+        discharged.  A failed obligation at another access site keeps
+        *that* site's check but does not veto this one; a failed
+        structural goal vetoes everything (some annotation is not
+        justified, so no proof that relies on annotations can be
+        trusted).
+        """
+        if not self.structural_ok:
+            return set()
+        return {
+            site_id for site_id in self.elab.sites
+            if self.site_proved(site_id)
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"program:          {self.name}",
+            f"constraints:      {self.num_constraints}",
+            f"proof goals:      {self.stats.goals} "
+            f"({self.stats.proved} proved, {self.stats.failed} failed)",
+            f"existential vars: {self.stats.evars_solved} solved",
+            f"check sites:      {len(self.sites)} "
+            f"({len(self.eliminable_sites())} eliminable)",
+            f"generation time:  {self.generation_seconds * 1000:.2f} ms",
+            f"solve time:       {self.solve_seconds * 1000:.2f} ms",
+        ]
+        for result in self.failed_goals:
+            where = self.source.describe(result.goal.span)
+            lines.append(f"UNSOLVED [{where}] {result.goal} -- {result.reason}")
+        return "\n".join(lines)
+
+    def explain(self, limit: int = 5) -> list[str]:
+        """Counterexample-based diagnostics for failed goals (the
+        informative error messages of Section 6's future work)."""
+        from repro.solver.diagnose import explain_failures
+
+        return explain_failures(self, limit)
+
+    def raise_if_failed(self) -> None:
+        if not self.all_proved:
+            first = self.failed_goals[0]
+            raise UnsolvedConstraint(
+                f"{len(self.failed_goals)} unsolved constraint(s); first: "
+                f"{first.goal} ({first.reason})",
+                first.goal.span,
+            )
+
+
+def check(
+    source: str,
+    name: str = "<input>",
+    backend: Backend | str = "fourier",
+    include_prelude: bool = True,
+) -> CheckReport:
+    """Run the full static pipeline on ``source``."""
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+
+    started = time.perf_counter()
+    src = SourceFile(source, name)
+    inferencer = MLInferencer()
+    if include_prelude:
+        prelude = parse_program(programs.prelude_source(), "prelude.dml")
+        inferencer.infer_program(prelude)
+    program = parse_program(source, name)
+    inferred = inferencer.infer_program(program)
+
+    store = EvarStore()
+    elab = elaborate_program(inferred.program, inferred.env, store)
+    generation = time.perf_counter() - started
+
+    stats = SolveStats()
+    solve_started = time.perf_counter()
+    goal_results: list[GoalResult] = []
+    for dc in elab.decl_constraints:
+        goal_results.extend(prove_all(dc.constraint, store, backend, stats))
+    warnings = _unreachable_warnings(elab, store, backend, src)
+    solve_seconds = time.perf_counter() - solve_started
+
+    return CheckReport(
+        name=name,
+        source=src,
+        program=inferred.program,
+        env=inferred.env,
+        elab=elab,
+        goal_results=goal_results,
+        stats=stats,
+        generation_seconds=generation,
+        solve_seconds=solve_seconds,
+        warnings=warnings,
+    )
+
+
+def _unreachable_warnings(
+    elab: ElabResult, store: EvarStore, backend: Backend, src: SourceFile
+) -> list[str]:
+    """Index-aware dead-code detection: a branch whose hypotheses are
+    contradictory can never execute (e.g. the nil clause of a match on
+    a provably non-empty list).  Purely informative."""
+    from repro.indices import terms
+    from repro.solver.simplify import Goal, prove_goal
+
+    warnings = []
+    for probe in elab.probes:
+        goal = Goal(probe.rigid, probe.hyps, terms.FALSE)
+        if prove_goal(goal, store, backend).proved:
+            warnings.append(
+                f"{src.describe(probe.span)}: unreachable {probe.what} "
+                f"(index hypotheses are contradictory)"
+            )
+    for missing in elab.coverage:
+        goal = Goal(missing.rigid, missing.hyps, terms.FALSE)
+        if not prove_goal(goal, store, backend).proved:
+            warnings.append(
+                f"{src.describe(missing.span)}: match may not be "
+                f"exhaustive (missing: {missing.missing})"
+            )
+    return warnings
+
+
+def check_corpus(
+    program_name: str, backend: Backend | str = "fourier"
+) -> CheckReport:
+    """Check one of the bundled corpus programs by name."""
+    source = programs.load_source(program_name)
+    return check(source, f"{program_name}.dml", backend)

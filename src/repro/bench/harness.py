@@ -1,0 +1,362 @@
+"""Regeneration of the paper's tables and figures.
+
+* :func:`table1` — constraint generation/solving statistics (Table 1),
+* :func:`table23` — run times with/without checks and dynamic counts of
+  eliminated checks (Tables 2 and 3; the paper's two hardware/compiler
+  platforms map onto our two execution engines — generated Python and
+  the instrumented interpreter),
+* :func:`figure4` — the sample constraints generated from binary
+  search (Figure 4),
+* :func:`solver_ablation` — per-backend proving power on the whole
+  corpus (the Section 3.2 / Section 6 solver discussion),
+* :func:`existentials_table` — existential variables created vs.
+  eliminated (the Section 3.1 observation that all of them solve).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import api, programs
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS, Workload
+from repro.compile import support
+from repro.compile.pycodegen import GeneratedModule, compile_program
+from repro.eval.interp import Interpreter
+from repro.eval.runtime import RuntimeStats
+from repro.lang import ast
+from repro.solver.backends import backend_names
+
+
+# ---------------------------------------------------------------------------
+# Table 1: constraint generation and solving
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    program: str
+    constraints: int
+    gen_seconds: float
+    solve_seconds: float
+    annotations: int
+    annotation_lines: int
+    total_lines: int
+
+    def cells(self) -> list[str]:
+        return [
+            self.program,
+            str(self.constraints),
+            f"{self.gen_seconds:.3f}/{self.solve_seconds:.3f}",
+            str(self.annotations),
+            str(self.annotation_lines),
+            f"{self.total_lines} lines",
+        ]
+
+
+def count_annotations(program: ast.Program, source_text: str) -> tuple[int, int]:
+    """(number of dependent annotations, source lines they occupy)."""
+    spans = []
+    count = 0
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.EAnnot):
+            nonlocal count
+            count += 1
+            spans.append(expr.ty.span)
+        for child in _expr_children(expr):
+            visit_expr(child)
+
+    def visit_decl(decl: ast.Decl) -> None:
+        nonlocal count
+        if isinstance(decl, ast.DFun):
+            for binding in decl.bindings:
+                if binding.where_type is not None:
+                    count += 1
+                    spans.append(binding.where_type.span)
+                if binding.ixparams:
+                    count += 1
+                for clause in binding.clauses:
+                    visit_expr(clause.body)
+        elif isinstance(decl, ast.DVal):
+            if decl.where_type is not None:
+                count += 1
+                spans.append(decl.where_type.span)
+            visit_expr(decl.expr)
+        elif isinstance(decl, ast.DAssert):
+            count += len(decl.items)
+            spans.append(decl.span)
+        elif isinstance(decl, ast.DTyperef):
+            count += len(decl.clauses)
+            spans.append(decl.span)
+        elif isinstance(decl, ast.DTypeAbbrev):
+            count += 1
+            spans.append(decl.span)
+
+    for decl in program.decls:
+        visit_decl(decl)
+
+    lines: set[int] = set()
+    for span in spans:
+        start_line = source_text.count("\n", 0, span.start) + 1
+        end_line = source_text.count("\n", 0, span.end) + 1
+        lines.update(range(start_line, end_line + 1))
+    return count, len(lines)
+
+
+def _expr_children(expr: ast.Expr) -> list[ast.Expr]:
+    from repro.compile.pycodegen import _expr_children as children
+
+    return children(expr)
+
+
+def count_code_lines(source_text: str) -> int:
+    """Non-blank, non-comment source lines."""
+    # Strip (* ... *) comments (nested).
+    out = []
+    depth = 0
+    i = 0
+    while i < len(source_text):
+        if source_text.startswith("(*", i):
+            depth += 1
+            i += 2
+            continue
+        if source_text.startswith("*)", i) and depth:
+            depth -= 1
+            i += 2
+            continue
+        if depth == 0 or source_text[i] == "\n":
+            out.append(source_text[i])
+        i += 1
+    stripped = "".join(out)
+    return sum(1 for line in stripped.splitlines() if line.strip())
+
+
+def table1(names: list[str] | None = None, backend: str = "fourier") -> list[Table1Row]:
+    rows = []
+    for display in names or TABLE_ORDER:
+        workload = WORKLOADS[display]
+        source = programs.load_source(workload.program)
+        report = api.check(source, workload.program, backend=backend)
+        annotations, ann_lines = count_annotations(report.program, source)
+        rows.append(
+            Table1Row(
+                program=display,
+                constraints=report.num_constraints,
+                gen_seconds=report.generation_seconds,
+                solve_seconds=report.solve_seconds,
+                annotations=annotations,
+                annotation_lines=ann_lines,
+                total_lines=count_code_lines(source),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 and 3: run time with/without checks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table23Row:
+    program: str
+    with_checks_seconds: float
+    without_checks_seconds: float
+    checks_eliminated: int
+
+    @property
+    def gain_percent(self) -> float:
+        if self.with_checks_seconds == 0:
+            return 0.0
+        return (
+            (self.with_checks_seconds - self.without_checks_seconds)
+            / self.with_checks_seconds
+            * 100.0
+        )
+
+    def cells(self) -> list[str]:
+        return [
+            self.program,
+            f"{self.with_checks_seconds:.3f}",
+            f"{self.without_checks_seconds:.3f}",
+            f"{self.gain_percent:.0f}%",
+            f"{self.checks_eliminated:,}",
+        ]
+
+
+def _time_call(fn: Callable[[], Any], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _compiled_runner(
+    workload: Workload, unchecked: set[str], preset: str, instrument: bool = False
+) -> Callable[[], Any]:
+    report = api.check_corpus(workload.program)
+    module = compile_program(
+        report.program, report.env, unchecked, workload.program,
+        instrument=instrument,
+    )
+    module.load()
+
+    def run() -> Any:
+        args = workload.args_for(preset, "compiled")
+        return module.call(workload.entry, *args)
+
+    return run
+
+
+def _interp_runner(
+    workload: Workload, unchecked: set[str], preset: str, stats: RuntimeStats
+) -> Callable[[], Any]:
+    report = api.check_corpus(workload.program)
+    interp = Interpreter(report.program, unchecked, stats=stats, env=report.env)
+
+    def run() -> Any:
+        args = workload.args_for(preset, "interp")
+        return interp.call(workload.entry, *args)
+
+    return run
+
+
+def table23(
+    names: list[str] | None = None,
+    preset: str = "default",
+    engine: str = "compiled",
+    repeats: int = 3,
+) -> list[Table23Row]:
+    """Measure run time with and without eliminated checks.
+
+    ``engine="compiled"`` (Table 2 analogue) times generated Python;
+    ``engine="interp"`` (Table 3 analogue) times the tree-walking
+    interpreter — use a smaller preset there.
+    """
+    rows = []
+    for display in names or TABLE_ORDER:
+        workload = WORKLOADS[display]
+        report = api.check_corpus(workload.program)
+        if not report.all_proved:
+            raise AssertionError(f"{workload.program} failed to check")
+        unchecked = report.eliminable_sites()
+
+        if engine == "compiled":
+            checked_run = _compiled_runner(workload, set(), preset)
+            unchecked_run = _compiled_runner(workload, unchecked, preset)
+            with_t = _time_call(checked_run, repeats)
+            without_t = _time_call(unchecked_run, repeats)
+            # Exact dynamic count from one instrumented run.
+            counter_run = _compiled_runner(
+                workload, unchecked, preset, instrument=True
+            )
+            support.COUNTERS.reset()
+            result = counter_run()
+            assert workload.validate(result, workload.params(preset))
+            eliminated = support.COUNTERS.eliminated
+        else:
+            stats_checked = RuntimeStats()
+            stats_unchecked = RuntimeStats()
+            checked_run = _interp_runner(workload, set(), preset, stats_checked)
+            unchecked_run = _interp_runner(
+                workload, unchecked, preset, stats_unchecked
+            )
+            with_t = _time_call(checked_run, repeats)
+            without_t = _time_call(unchecked_run, repeats)
+            eliminated = stats_unchecked.checks_eliminated // max(repeats, 1)
+
+        rows.append(
+            Table23Row(
+                program=display,
+                with_checks_seconds=with_t,
+                without_checks_seconds=without_t,
+                checks_eliminated=eliminated,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: sample constraints from binary search
+# ---------------------------------------------------------------------------
+
+
+def figure4() -> list[str]:
+    """The binary-search proof goals involving ``div`` (Figure 4)."""
+    report = api.check_corpus("bsearch")
+    store = report.elab.store
+    lines = []
+    for result in report.goal_results:
+        goal = result.goal
+        hyps = [str(store.resolve(h)) for h in goal.hyps]
+        concl = str(store.resolve(goal.concl))
+        if "div" not in concl and not any("div" in h for h in hyps):
+            continue
+        quant = "".join(
+            f"forall {name}:{sort}. " for name, sort in goal.rigid.items()
+        )
+        conj = " /\\ ".join(hyps)
+        body = f"({conj}) ==> {concl}" if hyps else concl
+        status = "solved" if result.proved else "UNSOLVED"
+        lines.append(f"[{status}] {quant}{body}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SolverRow:
+    program: str
+    results: dict[str, tuple[int, int, float]]  # backend -> (proved, total, secs)
+
+
+def solver_ablation(names: list[str] | None = None) -> list[SolverRow]:
+    rows = []
+    for display in names or TABLE_ORDER:
+        workload = WORKLOADS[display]
+        results = {}
+        for backend in backend_names():
+            report = api.check_corpus(workload.program, backend=backend)
+            results[backend] = (
+                report.stats.proved,
+                report.stats.goals,
+                report.solve_seconds,
+            )
+        rows.append(SolverRow(display, results))
+    return rows
+
+
+@dataclass
+class ExistentialRow:
+    program: str
+    created: int
+    solved: int
+    unsolved_in_failed_goals: int
+
+
+def existentials_table(names: list[str] | None = None) -> list[ExistentialRow]:
+    """Section 3.1: "we have been able to eliminate all the existential
+    variables ... in all our examples"."""
+    rows = []
+    for display in names or TABLE_ORDER:
+        workload = WORKLOADS[display]
+        report = api.check_corpus(workload.program)
+        store = report.elab.store
+        unsolved_failing = sum(
+            1 for r in report.goal_results
+            if not r.proved and "existential" in r.reason
+        )
+        rows.append(
+            ExistentialRow(
+                display, store.created_count, store.solved_count,
+                unsolved_failing,
+            )
+        )
+    return rows

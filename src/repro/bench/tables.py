@@ -1,0 +1,53 @@
+"""Plain-text rendering of benchmark tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a header rule."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(row[i]))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(rows) -> str:
+    headers = ["program", "constraints", "gen/solve (s)", "annotations",
+               "ann. lines", "code size"]
+    return render_table(headers, [r.cells() for r in rows])
+
+
+def render_table23(rows, title: str) -> str:
+    headers = ["program", "with checks (s)", "without (s)", "gain", "checks eliminated"]
+    return title + "\n" + render_table(headers, [r.cells() for r in rows])
+
+
+def render_solver_ablation(rows) -> str:
+    backends = sorted(rows[0].results) if rows else []
+    headers = ["program"] + [f"{b} (proved)" for b in backends]
+    body = []
+    for row in rows:
+        cells = [row.program]
+        for backend in backends:
+            proved, total, _ = row.results[backend]
+            cells.append(f"{proved}/{total}")
+        body.append(cells)
+    return render_table(headers, body)
+
+
+def render_existentials(rows) -> str:
+    headers = ["program", "evars created", "evars solved", "unsolved in failures"]
+    body = [
+        [r.program, str(r.created), str(r.solved), str(r.unsolved_in_failed_goals)]
+        for r in rows
+    ]
+    return render_table(headers, body)

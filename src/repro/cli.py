@@ -1,0 +1,258 @@
+"""The ``dml`` command line interface.
+
+Subcommands:
+
+* ``dml check FILE``    — type-check, report constraints/sites, exit
+  nonzero when obligations fail;
+* ``dml goals FILE``    — dump every proof goal with its verdict;
+* ``dml compile FILE``  — emit the generated Python (checks eliminated
+  where proved);
+* ``dml run FILE ENTRY [ARG ...]`` — interpret, printing the result and
+  the dynamic check counters.  Arguments parse as ML-ish literals:
+  ``42``, ``true``, ``[1,2,3]`` (list), ``[|1,2,3|]`` (array), and
+  tuples ``(1, [|2|])``;
+* ``dml bench``         — regenerate the paper's tables (delegates to
+  ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import api
+from repro.eval.interp import Interpreter
+from repro.eval.values import from_pylist, render
+from repro.lang.errors import DMLError
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    report = api.check(_read(args.file), args.file, backend=args.backend)
+    print(report.summary())
+    return 0 if report.all_proved else 1
+
+
+def cmd_goals(args: argparse.Namespace) -> int:
+    report = api.check(_read(args.file), args.file, backend=args.backend)
+    store = report.elab.store
+    for result in report.goal_results:
+        status = "solved  " if result.proved else "UNSOLVED"
+        where = report.source.describe(result.goal.span)
+        hyps = " /\\ ".join(str(store.resolve(h)) for h in result.goal.hyps)
+        concl = str(store.resolve(result.goal.concl))
+        origin = f" [{result.goal.origin}]" if result.goal.origin else ""
+        body = f"({hyps}) ==> {concl}" if hyps else concl
+        print(f"{status} {where}{origin}: {body}")
+        if not result.proved:
+            print(f"         reason: {result.reason}")
+    if not report.all_proved:
+        print()
+        print("diagnostics:")
+        for line in report.explain():
+            print(f"  {line}")
+    return 0 if report.all_proved else 1
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compile.pycodegen import compile_program
+
+    report = api.check(_read(args.file), args.file, backend=args.backend)
+    unchecked = report.eliminable_sites()
+    module = compile_program(
+        report.program, report.env, unchecked, Path(args.file).stem
+    )
+    if args.output:
+        Path(args.output).write_text(module.source)
+        print(f"wrote {args.output} "
+              f"({len(unchecked)}/{len(report.sites)} checks eliminated)")
+    else:
+        print(module.source)
+    return 0
+
+
+def _parse_value(text: str):
+    """Parse a command-line argument literal into a runtime value."""
+    text = text.strip()
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == "()":
+        return ()
+    if text.startswith("[|") and text.endswith("|]"):
+        inner = text[2:-2].strip()
+        return [_parse_value(t) for t in _split_commas(inner)] if inner else []
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        items = [_parse_value(t) for t in _split_commas(inner)] if inner else []
+        return from_pylist(items)
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1].strip()
+        return tuple(_parse_value(t) for t in _split_commas(inner))
+    return int(text)
+
+
+def _split_commas(text: str) -> list[str]:
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    report = api.check(_read(args.file), args.file, backend=args.backend)
+    unchecked = report.eliminable_sites() if not args.always_check else set()
+    interp = Interpreter(report.program, unchecked, env=report.env)
+    call_args = [_parse_value(a) for a in args.args]
+    result = interp.call(args.entry, *call_args)
+    print(render(result))
+    stats = interp.stats
+    print(
+        f"-- checks: {stats.checks_performed} performed, "
+        f"{stats.checks_eliminated} eliminated "
+        f"(bounds {stats.bound_checks_performed}/"
+        f"{stats.bound_checks_eliminated}, "
+        f"tags {stats.tag_checks_performed}/{stats.tag_checks_eliminated})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty_program
+
+    program = parse_program(_read(args.file), args.file)
+    formatted = pretty_program(program)
+    if args.in_place:
+        Path(args.file).write_text(formatted)
+        print(f"formatted {args.file}")
+    else:
+        print(formatted, end="")
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.compile.certificate import issue_certificate, verify_certificate
+
+    report = api.check(_read(args.file), args.file, backend=args.backend)
+    if not report.all_proved:
+        print("error: cannot certify a program with unsolved constraints",
+              file=sys.stderr)
+        for line in report.explain():
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    certificate = issue_certificate(report)
+    print(certificate.render())
+    result = verify_certificate(certificate, backend=args.verifier)
+    print(f"verification ({args.verifier}): "
+          f"{'VALID' if result.valid else 'INVALID'} "
+          f"({result.checked} obligation(s))")
+    return 0 if result.valid else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forwarded = []
+    if args.preset:
+        forwarded += ["--preset", args.preset]
+    if args.skip_timing:
+        forwarded += ["--skip-timing"]
+    return bench_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dml",
+        description="DML-lite: dependent types for array bound check "
+        "elimination (Xi & Pfenning, PLDI 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="DML source file")
+        p.add_argument("--backend", default="fourier",
+                       help="constraint solver backend")
+
+    p_check = sub.add_parser("check", help="type-check a program")
+    common(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_goals = sub.add_parser("goals", help="dump all proof goals")
+    common(p_goals)
+    p_goals.set_defaults(fn=cmd_goals)
+
+    p_compile = sub.add_parser("compile", help="emit generated Python")
+    common(p_compile)
+    p_compile.add_argument("-o", "--output", help="output file")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="interpret a program")
+    common(p_run)
+    p_run.add_argument("entry", help="function to call")
+    p_run.add_argument("args", nargs="*", help="argument literals")
+    p_run.add_argument("--always-check", action="store_true",
+                       help="keep every run-time check")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_fmt = sub.add_parser("fmt", help="pretty-print a program")
+    p_fmt.add_argument("file")
+    p_fmt.add_argument("-i", "--in-place", action="store_true")
+    p_fmt.set_defaults(fn=cmd_fmt)
+
+    p_cert = sub.add_parser(
+        "certify", help="issue and verify a safety certificate"
+    )
+    common(p_cert)
+    p_cert.add_argument("--verifier", default="omega",
+                        help="independent backend for re-verification")
+    p_cert.set_defaults(fn=cmd_certify)
+
+    p_bench = sub.add_parser("bench", help="regenerate the paper's tables")
+    p_bench.add_argument("--preset", choices=["small", "default", "paper"])
+    p_bench.add_argument("--skip-timing", action="store_true")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except DMLError as exc:
+        print(f"error: {exc.render()}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

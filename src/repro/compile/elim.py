@@ -1,0 +1,57 @@
+"""Check-elimination decisions (the paper's pay-off step).
+
+Given a :class:`~repro.api.CheckReport`, decide for every dependent
+array/list operation call site whether its run-time check may be
+omitted.  The policy is deliberately program-granular and fail-closed
+(see DESIGN.md): a site is unchecked only when *every* proof obligation
+of the program discharged, because the hypotheses under which one
+site's bound conditions were proved are the ``where``-annotations of
+enclosing functions, whose own guard obligations arise at *other*
+sites.  ``*CK`` operations never appear here — they always check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import CheckReport
+from repro.core.elaborate import SiteInfo
+
+
+@dataclass
+class EliminationPlan:
+    """Which check sites compile to unchecked accesses."""
+
+    program_proved: bool
+    sites: dict[str, SiteInfo]
+    unchecked: set[str]
+    #: Per-site proof status (diagnostic; elimination uses program level).
+    site_proved: dict[str, bool]
+
+    @property
+    def bound_sites(self) -> list[SiteInfo]:
+        return [s for s in self.sites.values() if s.kind == "bound"]
+
+    @property
+    def tag_sites(self) -> list[SiteInfo]:
+        return [s for s in self.sites.values() if s.kind == "tag"]
+
+    def summary(self) -> str:
+        kept = len(self.sites) - len(self.unchecked)
+        return (
+            f"{len(self.unchecked)} of {len(self.sites)} check sites "
+            f"eliminated ({kept} kept)"
+        )
+
+
+def plan_elimination(report: CheckReport) -> EliminationPlan:
+    """Compute the elimination plan for a checked program."""
+    site_proved = {
+        site_id: report.site_proved(site_id) for site_id in report.sites
+    }
+    return EliminationPlan(
+        program_proved=report.all_proved,
+        sites=dict(report.sites),
+        unchecked=report.eliminable_sites(),
+        site_proved=site_proved,
+    )

@@ -1,0 +1,141 @@
+"""Name resolution: distinguishing constructors from variables.
+
+The parser cannot know whether ``nil`` or ``NONE`` is a variable or a
+nullary constructor, so it emits :class:`~repro.lang.ast.PVar` /
+:class:`~repro.lang.ast.EVar` for bare identifiers.  This pass rewrites
+them to :class:`PCon` / :class:`ECon` using the set of constructors
+declared so far.  As in SML, a constructor name cannot be re-bound as a
+variable — attempting to do so is an error rather than a shadow.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import ElabError
+
+
+def resolve_pattern(pat: ast.Pattern, cons: set[str]) -> ast.Pattern:
+    if isinstance(pat, ast.PVar):
+        if pat.name in cons:
+            return ast.PCon(pat.name, None, span=pat.span)
+        return pat
+    if isinstance(pat, ast.PCon):
+        if pat.name not in cons:
+            raise ElabError(f"unknown constructor {pat.name!r}", pat.span)
+        arg = None if pat.arg is None else resolve_pattern(pat.arg, cons)
+        return ast.PCon(pat.name, arg, span=pat.span)
+    if isinstance(pat, ast.PTuple):
+        return ast.PTuple(
+            [resolve_pattern(p, cons) for p in pat.items], span=pat.span
+        )
+    return pat
+
+
+def _binds_constructor(pat: ast.Pattern, cons: set[str]) -> str | None:
+    """Detect an attempt to bind a constructor name as a variable —
+    only reachable via contexts that bind without resolution."""
+    if isinstance(pat, ast.PVar) and pat.name in cons:
+        return pat.name
+    return None
+
+
+def resolve_expr(expr: ast.Expr, cons: set[str]) -> ast.Expr:
+    if isinstance(expr, ast.EVar):
+        if expr.name in cons:
+            return ast.ECon(expr.name, span=expr.span)
+        return expr
+    if isinstance(expr, (ast.EInt, ast.EBool, ast.EUnit, ast.ECon)):
+        return expr
+    if isinstance(expr, ast.EApp):
+        return ast.EApp(
+            resolve_expr(expr.fn, cons), resolve_expr(expr.arg, cons), span=expr.span
+        )
+    if isinstance(expr, ast.ETuple):
+        return ast.ETuple([resolve_expr(e, cons) for e in expr.items], span=expr.span)
+    if isinstance(expr, ast.EIf):
+        return ast.EIf(
+            resolve_expr(expr.cond, cons),
+            resolve_expr(expr.then, cons),
+            resolve_expr(expr.els, cons),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.EAndAlso):
+        return ast.EAndAlso(
+            resolve_expr(expr.left, cons), resolve_expr(expr.right, cons),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.EOrElse):
+        return ast.EOrElse(
+            resolve_expr(expr.left, cons), resolve_expr(expr.right, cons),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.ELet):
+        return ast.ELet(
+            [resolve_decl(d, cons) for d in expr.decls],
+            resolve_expr(expr.body, cons),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.ECase):
+        clauses = [
+            (resolve_pattern(p, cons), resolve_expr(e, cons))
+            for p, e in expr.clauses
+        ]
+        return ast.ECase(resolve_expr(expr.scrutinee, cons), clauses, span=expr.span)
+    if isinstance(expr, ast.EFn):
+        return ast.EFn(
+            resolve_pattern(expr.param, cons),
+            resolve_expr(expr.body, cons),
+            span=expr.span,
+        )
+    if isinstance(expr, ast.ESeq):
+        return ast.ESeq([resolve_expr(e, cons) for e in expr.items], span=expr.span)
+    if isinstance(expr, ast.EAnnot):
+        return ast.EAnnot(resolve_expr(expr.expr, cons), expr.ty, span=expr.span)
+    if isinstance(expr, ast.ERaise):
+        return ast.ERaise(resolve_expr(expr.expr, cons), span=expr.span)
+    if isinstance(expr, ast.EHandle):
+        clauses = [
+            (resolve_pattern(p, cons), resolve_expr(e, cons))
+            for p, e in expr.clauses
+        ]
+        return ast.EHandle(resolve_expr(expr.expr, cons), clauses, span=expr.span)
+    raise AssertionError(f"unknown expression {expr!r}")
+
+
+def resolve_decl(decl: ast.Decl, cons: set[str]) -> ast.Decl:
+    if isinstance(decl, ast.DVal):
+        return ast.DVal(
+            resolve_pattern(decl.pat, cons),
+            resolve_expr(decl.expr, cons),
+            decl.where_type,
+            span=decl.span,
+        )
+    if isinstance(decl, ast.DFun):
+        bindings = []
+        for binding in decl.bindings:
+            if binding.name in cons:
+                raise ElabError(
+                    f"cannot bind constructor name {binding.name!r} as a function",
+                    binding.span,
+                )
+            clauses = [
+                ast.Clause(
+                    [resolve_pattern(p, cons) for p in clause.params],
+                    resolve_expr(clause.body, cons),
+                    span=clause.span,
+                )
+                for clause in binding.clauses
+            ]
+            bindings.append(
+                ast.FunBinding(
+                    binding.name,
+                    binding.typarams,
+                    binding.ixparams,
+                    clauses,
+                    binding.where_type,
+                    span=binding.span,
+                )
+            )
+        return ast.DFun(bindings, span=decl.span)
+    # datatype / typeref / assert / type decls contain no term names.
+    return decl

@@ -1,0 +1,167 @@
+"""Conversion from surface types to semantic dependent types.
+
+Implements the normalization conventions of Section 2.3:
+
+* a fully indexed application ``int(n)`` converts directly;
+* an *unindexed* use of an indexed family (``int``, ``'a array``) is
+  wrapped existentially — ``int`` becomes ``[i:int] int(i)`` — giving
+  "a smooth boundary between annotated and unannotated programs";
+* type abbreviations (``type intPrefix = ...``) expand transparently;
+* index variables must be bound by an enclosing quantifier.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.indices import terms
+from repro.indices.sorts import Sort
+from repro.lang import ast
+from repro.lang.errors import ElabError, SortError
+from repro.core.env import GlobalEnv
+from repro.types import types as dt
+
+_fresh = itertools.count(1)
+
+
+def convert_type(
+    sty: ast.SType,
+    env: GlobalEnv,
+    index_scope: set[str],
+    tyvar_scope: set[str] | None = None,
+    strict_indices: bool = True,
+) -> dt.DType:
+    """Convert a surface type; raises :class:`ElabError` on bad arity,
+    unknown names, or out-of-scope index variables.
+
+    ``tyvar_scope`` of ``None`` allows any type variable (they will be
+    collected and generalized by the caller).  ``strict_indices=False``
+    skips the index-variable scope check — phase 1 uses this, since it
+    only needs the erasure and outer binders (e.g. an enclosing
+    function's ``where`` quantifiers) are not yet known there.
+    """
+    _check = _check_index_scope if strict_indices else _no_check
+    if isinstance(sty, ast.STyVar):
+        if tyvar_scope is not None and sty.name not in tyvar_scope:
+            raise ElabError(f"unbound type variable {sty.name}", sty.span)
+        return dt.DTyVar(sty.name)
+
+    if isinstance(sty, ast.STyCon):
+        return _convert_con(sty, env, index_scope, tyvar_scope, strict_indices)
+
+    if isinstance(sty, ast.STyTuple):
+        return dt.DTuple(
+            tuple(convert_type(t, env, index_scope, tyvar_scope, strict_indices)
+                  for t in sty.items)
+        )
+
+    if isinstance(sty, ast.STyArrow):
+        return dt.DArrow(
+            convert_type(sty.dom, env, index_scope, tyvar_scope, strict_indices),
+            convert_type(sty.cod, env, index_scope, tyvar_scope, strict_indices),
+        )
+
+    if isinstance(sty, (ast.STyPi, ast.STySig)):
+        inner_scope = set(index_scope)
+        binders: list[tuple[str, Sort]] = []
+        for binder in sty.binders:
+            if strict_indices:
+                _check_sort_scope(binder.sort, inner_scope, binder.span)
+            binders.append((binder.name, binder.sort))
+            inner_scope.add(binder.name)
+        guard = sty.guard if sty.guard is not None else terms.TRUE
+        _check(guard, inner_scope, sty.span)
+        body = convert_type(sty.body, env, inner_scope, tyvar_scope, strict_indices)
+        cls = dt.DPi if isinstance(sty, ast.STyPi) else dt.DSig
+        return cls(tuple(binders), guard, body)
+
+    raise ElabError(f"cannot convert type {sty}", sty.span)
+
+
+def _convert_con(
+    sty: ast.STyCon,
+    env: GlobalEnv,
+    index_scope: set[str],
+    tyvar_scope: set[str] | None,
+    strict_indices: bool = True,
+) -> dt.DType:
+    _check = _check_index_scope if strict_indices else _no_check
+    if sty.name == "unit" and not sty.tyargs and not sty.iargs:
+        return dt.UNIT
+
+    # Transparent abbreviation?
+    if sty.name in env.abbrevs:
+        if sty.tyargs or sty.iargs:
+            raise ElabError(
+                f"abbreviation {sty.name} takes no arguments", sty.span
+            )
+        return env.abbrevs[sty.name]  # already converted
+
+    family = env.family(sty.name)
+    if family is None:
+        raise ElabError(f"unknown type constructor {sty.name!r}", sty.span)
+    if len(sty.tyargs) != family.tyvar_count:
+        raise ElabError(
+            f"{sty.name} expects {family.tyvar_count} type argument(s), "
+            f"got {len(sty.tyargs)}",
+            sty.span,
+        )
+    tyargs = tuple(
+        convert_type(t, env, index_scope, tyvar_scope, strict_indices)
+        for t in sty.tyargs
+    )
+
+    expected = len(family.index_sorts)
+    if sty.iargs:
+        if len(sty.iargs) != expected:
+            raise ElabError(
+                f"{sty.name} expects {expected} index argument(s), "
+                f"got {len(sty.iargs)}",
+                sty.span,
+            )
+        for iarg in sty.iargs:
+            _check(iarg, index_scope, sty.span)
+        return dt.DBase(sty.name, tyargs, tuple(sty.iargs))
+
+    if expected == 0:
+        return dt.DBase(sty.name, tyargs, ())
+
+    # Unindexed use of an indexed family: wrap existentially.
+    binders: list[tuple[str, Sort]] = []
+    iargs: list[terms.IndexTerm] = []
+    for sort in family.index_sorts:
+        fresh = f"_{sty.name[0]}{next(_fresh)}"
+        binders.append((fresh, sort))
+        iargs.append(terms.IVar(fresh))
+    return dt.DSig(
+        tuple(binders), terms.TRUE, dt.DBase(sty.name, tyargs, tuple(iargs))
+    )
+
+
+def _no_check(term: terms.IndexTerm, scope: set[str], span) -> None:
+    return None
+
+
+def _check_index_scope(
+    term: terms.IndexTerm, scope: set[str], span
+) -> None:
+    unbound = terms.free_vars(term) - scope
+    if unbound:
+        names = ", ".join(sorted(unbound))
+        raise SortError(f"unbound index variable(s): {names}", span)
+
+
+def _check_sort_scope(sort: Sort, scope: set[str], span) -> None:
+    from repro.indices.sorts import BaseSort, SubsetSort
+
+    if isinstance(sort, BaseSort):
+        return
+    assert isinstance(sort, SubsetSort)
+    _check_index_scope(sort.prop, scope | {sort.var}, span)
+    _check_sort_scope(sort.parent, scope, span)
+
+
+def scheme_of(ty: dt.DType) -> dt.DScheme:
+    """Generalize the free type variables of a converted annotation."""
+    tyvars = tuple(sorted(dt.free_tyvars(ty)))
+    return dt.DScheme(tyvars, ty)

@@ -1,0 +1,145 @@
+"""Variance analysis for datatype parameters.
+
+Subtyping between indexed types makes the variance of type arguments
+matter: ``int(5) list(n) <= ([i:int] int(i)) list(n)`` should hold
+(lists only *produce* their elements), while the same coercion on
+``array`` must be rejected (arrays are written through, so their
+element type is invariant).
+
+A parameter is covariant when every occurrence in every constructor
+argument type is positive, contravariant when every occurrence is
+negative, and invariant otherwise.  Occurrences under another family's
+parameters compose with that family's variance; occurrences under the
+family being defined are treated at the position's own (in-progress)
+variance, resolved by a small fixed-point iteration.
+"""
+
+from __future__ import annotations
+
+from repro.core.env import Family, GlobalEnv
+from repro.types import types as dt
+
+#: Lattice: "none" < "co"/"contra" < "invariant".
+_JOIN = {
+    ("none", "co"): "co",
+    ("none", "contra"): "contra",
+    ("none", "invariant"): "invariant",
+    ("none", "none"): "none",
+    ("co", "co"): "co",
+    ("co", "contra"): "invariant",
+    ("co", "invariant"): "invariant",
+    ("contra", "contra"): "contra",
+    ("contra", "invariant"): "invariant",
+    ("invariant", "invariant"): "invariant",
+}
+
+
+def _join(a: str, b: str) -> str:
+    if (a, b) in _JOIN:
+        return _JOIN[(a, b)]
+    return _JOIN[(b, a)]
+
+
+def _flip(v: str) -> str:
+    if v == "co":
+        return "contra"
+    if v == "contra":
+        return "co"
+    return v
+
+
+def _compose(outer: str, inner: str) -> str:
+    """Variance of an occurrence at ``inner`` polarity inside a
+    parameter position of variance ``outer``."""
+    if inner == "none":
+        return "none"
+    if outer == "co":
+        return inner
+    if outer == "contra":
+        return _flip(inner)
+    return "invariant"
+
+
+def compute_variances(family: Family, env: GlobalEnv) -> list[str]:
+    """Variance of each of ``family``'s type parameters."""
+    names: list[str] = []
+    for con_name in family.constructors:
+        info = env.constructor(con_name)
+        assert info is not None
+        names = list(info.scheme.tyvars)
+        break
+    if not names:
+        return ["co"] * family.tyvar_count
+
+    # Fixed point: start optimistic (covariant self-occurrences).
+    current = ["co"] * len(names)
+    for _ in range(len(names) + 2):
+        previous = list(current)
+        for k, tyvar in enumerate(names):
+            seen = "none"
+            for con_name in family.constructors:
+                info = env.constructor(con_name)
+                assert info is not None
+                body = info.scheme.body
+                # Only the argument type of the arrow matters; the
+                # result is the family application itself.
+                arg = _constructor_arg(body)
+                if arg is not None:
+                    seen = _join(seen, _occurrence(arg, tyvar, "co", family,
+                                                   previous, names, env))
+            current[k] = "co" if seen == "none" else seen
+        if current == previous:
+            break
+    return current
+
+
+def _constructor_arg(body: dt.DType) -> dt.DType | None:
+    while isinstance(body, (dt.DPi, dt.DSig)):
+        body = body.body
+    if isinstance(body, dt.DArrow):
+        return body.dom
+    return None
+
+
+def _occurrence(
+    ty: dt.DType,
+    tyvar: str,
+    polarity: str,
+    self_family: Family,
+    self_variances: list[str],
+    self_names: list[str],
+    env: GlobalEnv,
+) -> str:
+    if isinstance(ty, dt.DTyVar):
+        return polarity if ty.name == tyvar else "none"
+    if isinstance(ty, (dt.DMeta,)):
+        return "none"
+    if isinstance(ty, dt.DTuple):
+        result = "none"
+        for item in ty.items:
+            result = _join(result, _occurrence(item, tyvar, polarity,
+                                               self_family, self_variances,
+                                               self_names, env))
+        return result
+    if isinstance(ty, dt.DArrow):
+        dom = _occurrence(ty.dom, tyvar, _flip(polarity), self_family,
+                          self_variances, self_names, env)
+        cod = _occurrence(ty.cod, tyvar, polarity, self_family,
+                          self_variances, self_names, env)
+        return _join(dom, cod)
+    if isinstance(ty, (dt.DPi, dt.DSig)):
+        return _occurrence(ty.body, tyvar, polarity, self_family,
+                           self_variances, self_names, env)
+    if isinstance(ty, dt.DBase):
+        result = "none"
+        for k, arg in enumerate(ty.tyargs):
+            if ty.name == self_family.name:
+                outer = self_variances[k] if k < len(self_variances) else "co"
+            else:
+                other = env.family(ty.name)
+                outer = other.variance(k) if other else "invariant"
+            inner = _occurrence(arg, tyvar, polarity, self_family,
+                                self_variances, self_names, env)
+            result = _join(result, _compose(outer, inner))
+        return result
+    raise AssertionError(f"unknown type {ty!r}")

@@ -1,0 +1,345 @@
+"""Primitive operations and run-time check accounting.
+
+Every name ``assert``ed in the prelude has its implementation here.
+The array/list access primitives come in two flavours, mirroring the
+paper's experimental setup (Section 4):
+
+* the *dependent* ones (``sub``, ``update``, ``nth``, ``hd``, ``tl``)
+  perform their safety check only when the call site was **not**
+  discharged statically — each execution bumps either
+  ``checks_performed`` or ``checks_eliminated``, which is how Table 2/3's
+  "checks eliminated" column is measured;
+* the ``*CK`` ones always check (the paper's safe ``sub`` /
+  ``subPrefixCK`` style escape hatches).
+
+An *unchecked* access genuinely skips the bounds test.  A negative
+index then silently reads from the end of the Python list — a faithful
+analogue of unsafe memory access — so eliminating a check that was not
+actually proved is observably unsound, which the soundness tests
+exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.eval import values as rv
+from repro.eval.values import ConV, BuiltinV
+from repro.lang.errors import BoundsError, EvalError, TagError
+
+
+@dataclass
+class RuntimeStats:
+    """Dynamic counters for one program run."""
+
+    bound_checks_performed: int = 0
+    bound_checks_eliminated: int = 0
+    tag_checks_performed: int = 0
+    tag_checks_eliminated: int = 0
+    applications: int = 0
+    allocations: int = 0
+
+    @property
+    def checks_performed(self) -> int:
+        return self.bound_checks_performed + self.tag_checks_performed
+
+    @property
+    def checks_eliminated(self) -> int:
+        return self.bound_checks_eliminated + self.tag_checks_eliminated
+
+    def reset(self) -> None:
+        self.bound_checks_performed = 0
+        self.bound_checks_eliminated = 0
+        self.tag_checks_performed = 0
+        self.tag_checks_eliminated = 0
+        self.applications = 0
+        self.allocations = 0
+
+
+def _as_pair(arg: Any) -> tuple:
+    if not isinstance(arg, tuple) or len(arg) != 2:
+        raise EvalError(f"expected a pair, got {rv.render(arg)}")
+    return arg
+
+
+# -- arithmetic -------------------------------------------------------------
+
+
+def _add(arg, stats):
+    a, b = arg
+    return a + b
+
+
+def _sub_(arg, stats):
+    a, b = arg
+    return a - b
+
+
+def _mul(arg, stats):
+    a, b = arg
+    return a * b
+
+
+def _div(arg, stats):
+    a, b = arg
+    if b == 0:
+        raise EvalError("Div: division by zero")
+    return a // b  # SML div is floor division
+
+
+def _mod(arg, stats):
+    a, b = arg
+    if b == 0:
+        raise EvalError("Mod: modulo by zero")
+    return a - b * (a // b)
+
+
+def _neg(arg, stats):
+    return -arg
+
+
+def _min(arg, stats):
+    a, b = arg
+    return a if a <= b else b
+
+
+def _max(arg, stats):
+    a, b = arg
+    return a if a >= b else b
+
+
+def _abs(arg, stats):
+    return arg if arg >= 0 else -arg
+
+
+# -- comparisons -----------------------------------------------------------
+
+
+def _eq(arg, stats):
+    a, b = arg
+    return a == b
+
+
+def _ne(arg, stats):
+    a, b = arg
+    return a != b
+
+
+def _lt(arg, stats):
+    a, b = arg
+    return a < b
+
+
+def _le(arg, stats):
+    a, b = arg
+    return a <= b
+
+
+def _gt(arg, stats):
+    a, b = arg
+    return a > b
+
+
+def _ge(arg, stats):
+    a, b = arg
+    return a >= b
+
+
+def _not(arg, stats):
+    return not arg
+
+
+def _compare(arg, stats):
+    a, b = arg
+    if a < b:
+        return ConV("LESS")
+    if a == b:
+        return ConV("EQUAL")
+    return ConV("GREATER")
+
+
+# -- arrays -----------------------------------------------------------------
+
+
+def _length(arg, stats):
+    return len(arg)
+
+
+def _array(arg, stats):
+    n, init = arg
+    if n < 0:
+        raise EvalError("Size: negative array size")
+    stats.allocations += 1
+    return [init] * n
+
+
+def _sub(arg, stats, checked):
+    arr, i = arg
+    if checked:
+        stats.bound_checks_performed += 1
+        if not 0 <= i < len(arr):
+            raise BoundsError(f"Subscript: index {i} out of bounds for array "
+                              f"of size {len(arr)}")
+    else:
+        stats.bound_checks_eliminated += 1
+    return arr[i]
+
+
+def _update(arg, stats, checked):
+    arr, i, value = arg
+    if checked:
+        stats.bound_checks_performed += 1
+        if not 0 <= i < len(arr):
+            raise BoundsError(f"Subscript: index {i} out of bounds for array "
+                              f"of size {len(arr)}")
+    else:
+        stats.bound_checks_eliminated += 1
+    arr[i] = value
+    return rv.UNIT
+
+
+def _sub_ck(arg, stats):
+    arr, i = arg
+    stats.bound_checks_performed += 1
+    if not 0 <= i < len(arr):
+        raise BoundsError(f"Subscript: index {i} out of bounds for array "
+                          f"of size {len(arr)}")
+    return arr[i]
+
+
+def _update_ck(arg, stats):
+    arr, i, value = arg
+    stats.bound_checks_performed += 1
+    if not 0 <= i < len(arr):
+        raise BoundsError(f"Subscript: index {i} out of bounds for array "
+                          f"of size {len(arr)}")
+    arr[i] = value
+    return rv.UNIT
+
+
+# -- lists ------------------------------------------------------------------
+
+
+def _nth(arg, stats, checked):
+    lst, n = arg
+    if checked:
+        stats.tag_checks_performed += 1
+        i = n
+        cell = lst
+        while i > 0:
+            if cell.con != "::":
+                raise TagError(f"Subscript: nth({n}) beyond end of list")
+            cell = cell.arg[1]
+            i -= 1
+        if cell.con != "::":
+            raise TagError(f"Subscript: nth({n}) beyond end of list")
+        return cell.arg[0]
+    stats.tag_checks_eliminated += 1
+    cell = lst
+    for _ in range(n):
+        cell = cell.arg[1]  # unsafe: no tag test
+    return cell.arg[0]
+
+
+def _hd(arg, stats, checked):
+    if checked:
+        stats.tag_checks_performed += 1
+        if arg.con != "::":
+            raise TagError("Empty: hd of nil")
+    else:
+        stats.tag_checks_eliminated += 1
+    return arg.arg[0]
+
+
+def _tl(arg, stats, checked):
+    if checked:
+        stats.tag_checks_performed += 1
+        if arg.con != "::":
+            raise TagError("Empty: tl of nil")
+    else:
+        stats.tag_checks_eliminated += 1
+    return arg.arg[1]
+
+
+def _nth_ck(arg, stats):
+    return _nth(arg, stats, True)
+
+
+def _hd_ck(arg, stats):
+    return _hd(arg, stats, True)
+
+
+def _tl_ck(arg, stats):
+    return _tl(arg, stats, True)
+
+
+# -- io ------------------------------------------------------------------
+
+
+def _tabulate(arg, stats, apply):
+    n, fn = arg
+    if n < 0:
+        raise EvalError("Size: negative array size")
+    stats.allocations += 1
+    return [apply(fn, i) for i in range(n)]
+
+
+def _print_int(arg, stats):
+    print(arg)
+    return rv.UNIT
+
+
+def _print_bool(arg, stats):
+    print("true" if arg else "false")
+    return rv.UNIT
+
+
+def make_builtins() -> dict[str, BuiltinV]:
+    """The prelude's runtime, keyed by asserted name."""
+    plain = {
+        "+": _add,
+        "-": _sub_,
+        "*": _mul,
+        "div": _div,
+        "mod": _mod,
+        "~": _neg,
+        "min": _min,
+        "max": _max,
+        "abs": _abs,
+        "=": _eq,
+        "<>": _ne,
+        "<": _lt,
+        "<=": _le,
+        ">": _gt,
+        ">=": _ge,
+        "not": _not,
+        "compare": _compare,
+        "length": _length,
+        "array": _array,
+        "print_int": _print_int,
+        "print_bool": _print_bool,
+    }
+    checkable = {
+        "sub": (_sub, "bound"),
+        "update": (_update, "bound"),
+        "nth": (_nth, "tag"),
+        "hd": (_hd, "tag"),
+        "tl": (_tl, "tag"),
+    }
+    always = {
+        "subCK": (_sub_ck, "bound"),
+        "updateCK": (_update_ck, "bound"),
+        "nthCK": (_nth_ck, "tag"),
+        "hdCK": (_hd_ck, "tag"),
+        "tlCK": (_tl_ck, "tag"),
+    }
+    table: dict[str, BuiltinV] = {}
+    for name, fn in plain.items():
+        table[name] = BuiltinV(name, fn)
+    table["tabulate"] = BuiltinV("tabulate", _tabulate, needs_apply=True)
+    for name, (fn, kind) in checkable.items():
+        table[name] = BuiltinV(name, fn, check_kind=kind)
+    for name, (fn, kind) in always.items():
+        table[name] = BuiltinV(name, fn, check_kind=kind, always_checked=True)
+    return table

@@ -1,0 +1,136 @@
+"""The constraint language of Section 3.
+
+    phi ::= b | phi1 /\\ phi2 | b ==> phi | exists a:gamma. phi
+          | forall a:gamma. phi
+
+Constraints are produced by elaboration (:mod:`repro.core.elaborate`)
+and consumed by :mod:`repro.solver.simplify`, which flattens them into
+universally quantified linear implication *goals*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.indices import terms
+from repro.indices.sorts import Sort
+from repro.indices.terms import IndexTerm
+from repro.lang.source import DUMMY_SPAN, Span
+
+
+class Constraint:
+    """Base class of constraint formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CTrue(Constraint):
+    def __str__(self) -> str:
+        return "T"
+
+
+@dataclass(frozen=True, slots=True)
+class CProp(Constraint):
+    """An atomic boolean index obligation, tagged with its origin.
+
+    ``origin`` is a short human-readable reason (e.g. ``"array bound
+    for sub"``) and ``span`` points into the source program; both feed
+    the diagnostics and the Table 1 accounting.
+    """
+
+    prop: IndexTerm
+    origin: str = ""
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        return str(self.prop)
+
+
+@dataclass(frozen=True, slots=True)
+class CAnd(Constraint):
+    left: Constraint
+    right: Constraint
+
+    def __str__(self) -> str:
+        return f"({self.left} /\\ {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class CImpl(Constraint):
+    """``hyp ==> body`` — hypotheses arise from pattern matching,
+    branch conditions, and quantifier guards."""
+
+    hyp: IndexTerm
+    body: Constraint
+
+    def __str__(self) -> str:
+        return f"({self.hyp} ==> {self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class CForall(Constraint):
+    var: str
+    sort: Sort
+    body: Constraint
+
+    def __str__(self) -> str:
+        return f"forall {self.var}:{self.sort}. {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class CExists(Constraint):
+    var: str
+    sort: Sort
+    body: Constraint
+
+    def __str__(self) -> str:
+        return f"exists {self.var}:{self.sort}. {self.body}"
+
+
+TRUE = CTrue()
+
+
+def cand(left: Constraint, right: Constraint) -> Constraint:
+    if isinstance(left, CTrue):
+        return right
+    if isinstance(right, CTrue):
+        return left
+    return CAnd(left, right)
+
+
+def conj(parts: list[Constraint]) -> Constraint:
+    result: Constraint = TRUE
+    for part in parts:
+        result = cand(result, part)
+    return result
+
+
+def guard(hyp: IndexTerm, body: Constraint) -> Constraint:
+    if isinstance(body, CTrue):
+        return TRUE
+    if isinstance(hyp, terms.BConst) and hyp.value:
+        return body
+    return CImpl(hyp, body)
+
+
+def forall(var: str, sort: Sort, body: Constraint) -> Constraint:
+    if isinstance(body, CTrue):
+        return TRUE
+    return CForall(var, sort, body)
+
+
+def count_props(constraint: Constraint) -> int:
+    """Number of atomic obligations in a constraint tree.
+
+    This is the figure reported in Table 1's "constraints" column.
+    """
+    if isinstance(constraint, CProp):
+        return 1
+    if isinstance(constraint, CTrue):
+        return 0
+    if isinstance(constraint, CAnd):
+        return count_props(constraint.left) + count_props(constraint.right)
+    if isinstance(constraint, (CImpl, CForall, CExists)):
+        return count_props(constraint.body)
+    raise AssertionError(f"unknown constraint {constraint!r}")

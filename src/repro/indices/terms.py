@@ -1,0 +1,580 @@
+"""The index language of Section 2.2.
+
+Type indices are integer and boolean expressions::
+
+    i, j ::= a | i+j | i-j | i*j | div(i,j) | min(i,j) | max(i,j)
+           | abs(i) | sgn(i) | mod(i,j)
+    b    ::= a | false | true | i < j | i <= j | i = j | i <> j
+           | i >= j | i > j | ~b | b1 /\\ b2 | b1 \\/ b2
+
+Terms are immutable; existential (unification) variables are
+represented by :class:`EVar` nodes whose solutions live in an external
+:class:`EvarStore`, keeping the term language purely functional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.lang.errors import EvalError
+
+# ---------------------------------------------------------------------------
+# Term constructors
+# ---------------------------------------------------------------------------
+
+
+class IndexTerm:
+    """Base class of all index expressions (integer- or boolean-sorted)."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "IndexTerm | int") -> "IndexTerm":
+        return iadd(self, _coerce(other))
+
+    def __radd__(self, other: int) -> "IndexTerm":
+        return iadd(_coerce(other), self)
+
+    def __sub__(self, other: "IndexTerm | int") -> "IndexTerm":
+        return isub(self, _coerce(other))
+
+    def __rsub__(self, other: int) -> "IndexTerm":
+        return isub(_coerce(other), self)
+
+    def __mul__(self, other: "IndexTerm | int") -> "IndexTerm":
+        return imul(self, _coerce(other))
+
+    def __rmul__(self, other: int) -> "IndexTerm":
+        return imul(_coerce(other), self)
+
+
+def _coerce(value: "IndexTerm | int") -> "IndexTerm":
+    if isinstance(value, IndexTerm):
+        return value
+    return IConst(value)
+
+
+@dataclass(frozen=True, slots=True)
+class IVar(IndexTerm):
+    """A rigid (universally bound) index variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class EVar(IndexTerm):
+    """An existential index variable awaiting a witness.
+
+    ``uid`` makes evars unique; ``hint`` preserves the source name for
+    readable constraint dumps (the paper writes them as capitalised
+    variables, e.g. ``M`` and ``N`` in Section 3.1).
+    """
+
+    uid: int
+    hint: str = "?"
+
+    def __str__(self) -> str:
+        return f"{self.hint}${self.uid}"
+
+
+@dataclass(frozen=True, slots=True)
+class IConst(IndexTerm):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(IndexTerm):
+    """Integer binary operator: ``+ - * div mod min max``."""
+
+    op: str
+    left: IndexTerm
+    right: IndexTerm
+
+    def __str__(self) -> str:
+        if self.op in {"+", "-", "*"}:
+            return f"({self.left} {self.op} {self.right})"
+        return f"{self.op}({self.left}, {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(IndexTerm):
+    """Integer unary operator: ``neg abs sgn``."""
+
+    op: str
+    arg: IndexTerm
+
+    def __str__(self) -> str:
+        if self.op == "neg":
+            return f"(-{self.arg})"
+        return f"{self.op}({self.arg})"
+
+
+@dataclass(frozen=True, slots=True)
+class BConst(IndexTerm):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+#: Comparison operators in surface syntax order.
+CMP_OPS = ("<", "<=", "=", "<>", ">=", ">")
+
+#: Negation table for comparison operators.
+CMP_NEGATION = {"<": ">=", "<=": ">", "=": "<>", "<>": "=", ">=": "<", ">": "<="}
+
+#: Operator obtained by swapping the two operands.
+CMP_FLIP = {"<": ">", "<=": ">=", "=": "=", "<>": "<>", ">=": "<=", ">": "<"}
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(IndexTerm):
+    """Integer comparison yielding a boolean index."""
+
+    op: str
+    left: IndexTerm
+    right: IndexTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(IndexTerm):
+    arg: IndexTerm
+
+    def __str__(self) -> str:
+        return f"not ({self.arg})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(IndexTerm):
+    left: IndexTerm
+    right: IndexTerm
+
+    def __str__(self) -> str:
+        return f"({self.left} /\\ {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(IndexTerm):
+    left: IndexTerm
+    right: IndexTerm
+
+    def __str__(self) -> str:
+        return f"({self.left} \\/ {self.right})"
+
+
+TRUE = BConst(True)
+FALSE = BConst(False)
+ZERO = IConst(0)
+ONE = IConst(1)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (light constant folding keeps dumps readable)
+# ---------------------------------------------------------------------------
+
+
+def iadd(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(left.value + right.value)
+    if isinstance(left, IConst) and left.value == 0:
+        return right
+    if isinstance(right, IConst) and right.value == 0:
+        return left
+    return BinOp("+", left, right)
+
+
+def isub(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(left.value - right.value)
+    if isinstance(right, IConst) and right.value == 0:
+        return left
+    return BinOp("-", left, right)
+
+
+def imul(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(left.value * right.value)
+    if isinstance(left, IConst) and left.value == 1:
+        return right
+    if isinstance(right, IConst) and right.value == 1:
+        return left
+    if (isinstance(left, IConst) and left.value == 0) or (
+        isinstance(right, IConst) and right.value == 0
+    ):
+        return ZERO
+    return BinOp("*", left, right)
+
+
+def idiv(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if (
+        isinstance(left, IConst)
+        and isinstance(right, IConst)
+        and right.value != 0
+    ):
+        return IConst(_floor_div(left.value, right.value))
+    return BinOp("div", left, right)
+
+
+def imod(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if (
+        isinstance(left, IConst)
+        and isinstance(right, IConst)
+        and right.value != 0
+    ):
+        return IConst(left.value - right.value * _floor_div(left.value, right.value))
+    return BinOp("mod", left, right)
+
+
+def imin(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(min(left.value, right.value))
+    return BinOp("min", left, right)
+
+
+def imax(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return IConst(max(left.value, right.value))
+    return BinOp("max", left, right)
+
+
+def ineg(arg: IndexTerm) -> IndexTerm:
+    if isinstance(arg, IConst):
+        return IConst(-arg.value)
+    return UnOp("neg", arg)
+
+
+def iabs(arg: IndexTerm) -> IndexTerm:
+    if isinstance(arg, IConst):
+        return IConst(abs(arg.value))
+    return UnOp("abs", arg)
+
+
+def isgn(arg: IndexTerm) -> IndexTerm:
+    if isinstance(arg, IConst):
+        return IConst((arg.value > 0) - (arg.value < 0))
+    return UnOp("sgn", arg)
+
+
+def cmp(op: str, left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if op not in CMP_OPS:
+        raise ValueError(f"unknown comparison operator {op!r}")
+    if isinstance(left, IConst) and isinstance(right, IConst):
+        return BConst(_eval_cmp(op, left.value, right.value))
+    return Cmp(op, left, right)
+
+
+def bnot(arg: IndexTerm) -> IndexTerm:
+    if isinstance(arg, BConst):
+        return BConst(not arg.value)
+    if isinstance(arg, Not):
+        return arg.arg
+    if isinstance(arg, Cmp):
+        return Cmp(CMP_NEGATION[arg.op], arg.left, arg.right)
+    return Not(arg)
+
+
+def band(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, BConst):
+        return right if left.value else FALSE
+    if isinstance(right, BConst):
+        return left if right.value else FALSE
+    return And(left, right)
+
+
+def bor(left: IndexTerm, right: IndexTerm) -> IndexTerm:
+    if isinstance(left, BConst):
+        return TRUE if left.value else right
+    if isinstance(right, BConst):
+        return TRUE if right.value else left
+    return Or(left, right)
+
+
+def conj(parts: list[IndexTerm]) -> IndexTerm:
+    """Conjunction of a possibly empty list of boolean indices."""
+    result: IndexTerm = TRUE
+    for part in parts:
+        result = band(result, part)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Generic traversals
+# ---------------------------------------------------------------------------
+
+
+def children(term: IndexTerm) -> tuple[IndexTerm, ...]:
+    """Immediate subterms of an index term."""
+    if isinstance(term, (BinOp, Cmp, And, Or)):
+        return (term.left, term.right)
+    if isinstance(term, (UnOp, Not)):
+        return (term.arg,)
+    return ()
+
+
+def subterms(term: IndexTerm) -> Iterator[IndexTerm]:
+    """Pre-order iterator over all subterms (including ``term``)."""
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(children(node))
+
+
+def free_vars(term: IndexTerm) -> set[str]:
+    """Names of all rigid variables occurring in ``term``."""
+    return {node.name for node in subterms(term) if isinstance(node, IVar)}
+
+
+def free_evars(term: IndexTerm) -> set[EVar]:
+    """All existential variables occurring in ``term``."""
+    return {node for node in subterms(term) if isinstance(node, EVar)}
+
+
+def _rebuild(term: IndexTerm, new_children: tuple[IndexTerm, ...]) -> IndexTerm:
+    if isinstance(term, BinOp):
+        return BinOp(term.op, *new_children)
+    if isinstance(term, UnOp):
+        return UnOp(term.op, new_children[0])
+    if isinstance(term, Cmp):
+        return Cmp(term.op, *new_children)
+    if isinstance(term, Not):
+        return Not(new_children[0])
+    if isinstance(term, And):
+        return And(*new_children)
+    if isinstance(term, Or):
+        return Or(*new_children)
+    raise AssertionError(f"not a compound term: {term!r}")
+
+
+def transform(term: IndexTerm, fn: Callable[[IndexTerm], IndexTerm | None]) -> IndexTerm:
+    """Bottom-up rewrite: ``fn`` may return a replacement or ``None``."""
+    kids = children(term)
+    if kids:
+        new_kids = tuple(transform(kid, fn) for kid in kids)
+        if new_kids != kids:
+            term = _rebuild(term, new_kids)
+    replacement = fn(term)
+    return term if replacement is None else replacement
+
+
+def subst(term: IndexTerm, mapping: Mapping[str, IndexTerm]) -> IndexTerm:
+    """Capture-free substitution of rigid variables (index terms bind
+    no variables, so capture cannot occur)."""
+    if not mapping:
+        return term
+
+    def replace(node: IndexTerm) -> IndexTerm | None:
+        if isinstance(node, IVar):
+            return mapping.get(node.name)
+        return None
+
+    return transform(term, replace)
+
+
+def subst_evars(term: IndexTerm, mapping: Mapping[EVar, IndexTerm]) -> IndexTerm:
+    """Substitute solved existential variables."""
+    if not mapping:
+        return term
+
+    def replace(node: IndexTerm) -> IndexTerm | None:
+        if isinstance(node, EVar):
+            return mapping.get(node)
+        return None
+
+    return transform(term, replace)
+
+
+def rename(term: IndexTerm, mapping: Mapping[str, str]) -> IndexTerm:
+    """Rename rigid variables."""
+    return subst(term, {old: IVar(new) for old, new in mapping.items()})
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (reference semantics; used by the brute-force oracle and
+# the property-based tests)
+# ---------------------------------------------------------------------------
+
+
+def _floor_div(a: int, b: int) -> int:
+    # Python's // is already floor division, matching SML's div.
+    return a // b
+
+
+def _eval_cmp(op: str, a: int, b: int) -> bool:
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == ">=":
+        return a >= b
+    return a > b
+
+
+def evaluate(term: IndexTerm, env: Mapping[str, int | bool]) -> int | bool:
+    """Evaluate an index term under an assignment of its variables.
+
+    Raises :class:`EvalError` on division by zero or an unbound
+    variable, mirroring the partiality of the index semantics.
+    """
+    if isinstance(term, IConst):
+        return term.value
+    if isinstance(term, BConst):
+        return term.value
+    if isinstance(term, IVar):
+        if term.name not in env:
+            raise EvalError(f"unbound index variable {term.name}")
+        return env[term.name]
+    if isinstance(term, EVar):
+        raise EvalError(f"cannot evaluate unsolved existential variable {term}")
+    if isinstance(term, BinOp):
+        a = evaluate(term.left, env)
+        b = evaluate(term.right, env)
+        assert isinstance(a, int) and isinstance(b, int)
+        if term.op == "+":
+            return a + b
+        if term.op == "-":
+            return a - b
+        if term.op == "*":
+            return a * b
+        if term.op == "div":
+            if b == 0:
+                raise EvalError("division by zero in index term")
+            return _floor_div(a, b)
+        if term.op == "mod":
+            if b == 0:
+                raise EvalError("modulo by zero in index term")
+            return a - b * _floor_div(a, b)
+        if term.op == "min":
+            return min(a, b)
+        if term.op == "max":
+            return max(a, b)
+        raise AssertionError(f"unknown binop {term.op}")
+    if isinstance(term, UnOp):
+        a = evaluate(term.arg, env)
+        assert isinstance(a, int)
+        if term.op == "neg":
+            return -a
+        if term.op == "abs":
+            return abs(a)
+        if term.op == "sgn":
+            return (a > 0) - (a < 0)
+        raise AssertionError(f"unknown unop {term.op}")
+    if isinstance(term, Cmp):
+        a = evaluate(term.left, env)
+        b = evaluate(term.right, env)
+        assert isinstance(a, int) and isinstance(b, int)
+        return _eval_cmp(term.op, a, b)
+    if isinstance(term, Not):
+        return not evaluate(term.arg, env)
+    if isinstance(term, And):
+        return bool(evaluate(term.left, env)) and bool(evaluate(term.right, env))
+    if isinstance(term, Or):
+        return bool(evaluate(term.left, env)) or bool(evaluate(term.right, env))
+    raise AssertionError(f"unknown index term {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# Sort inference over raw terms
+# ---------------------------------------------------------------------------
+
+INT_SORT = "int"
+BOOL_SORT = "bool"
+
+
+def sort_of(term: IndexTerm, var_sorts: Mapping[str, str] | None = None) -> str:
+    """Infer the base sort (``int`` or ``bool``) of an index term.
+
+    ``var_sorts`` gives the sorts of rigid variables; variables default
+    to ``int`` (the common case — boolean index variables only arise
+    from ``bool(b)`` singletons).
+    """
+    sorts = var_sorts or {}
+    if isinstance(term, (IConst, BinOp, UnOp)):
+        return INT_SORT
+    if isinstance(term, (BConst, Cmp, Not, And, Or)):
+        return BOOL_SORT
+    if isinstance(term, IVar):
+        return sorts.get(term.name, INT_SORT)
+    if isinstance(term, EVar):
+        return INT_SORT
+    raise AssertionError(f"unknown index term {term!r}")
+
+
+class EvarStore:
+    """Allocation and solution store for existential index variables.
+
+    Each evar records the set of rigid variables that were in scope at
+    its creation: a solution may only mention those (the scope check of
+    Section 3.1's existential-variable elimination).
+    """
+
+    def __init__(self) -> None:
+        self._next_uid = 0
+        self._solutions: dict[EVar, IndexTerm] = {}
+        self._scopes: dict[EVar, frozenset[str]] = {}
+
+    def fresh(self, hint: str, scope: set[str] | frozenset[str]) -> EVar:
+        evar = EVar(self._next_uid, hint)
+        self._next_uid += 1
+        self._scopes[evar] = frozenset(scope)
+        return evar
+
+    def scope(self, evar: EVar) -> frozenset[str]:
+        return self._scopes.get(evar, frozenset())
+
+    def is_solved(self, evar: EVar) -> bool:
+        return evar in self._solutions
+
+    def solve(self, evar: EVar, term: IndexTerm) -> bool:
+        """Record ``evar := term`` if admissible; return success.
+
+        Admissible means: not already solved, no occurrence of ``evar``
+        in ``term`` (after resolution), and every rigid variable of the
+        resolved ``term`` lies in the evar's scope.
+        """
+        if evar in self._solutions:
+            return False
+        resolved = self.resolve(term)
+        if evar in free_evars(resolved):
+            return False
+        if not free_vars(resolved) <= self._scopes.get(evar, frozenset()):
+            return False
+        self._solutions[evar] = resolved
+        return True
+
+    def resolve(self, term: IndexTerm) -> IndexTerm:
+        """Substitute all solved evars, to a fixed point."""
+        while True:
+            present = free_evars(term)
+            solved = {ev: self._solutions[ev] for ev in present if ev in self._solutions}
+            if not solved:
+                return term
+            term = subst_evars(term, solved)
+
+    @property
+    def solutions(self) -> dict[EVar, IndexTerm]:
+        return dict(self._solutions)
+
+    @property
+    def created_count(self) -> int:
+        return self._next_uid
+
+    @property
+    def solved_count(self) -> int:
+        return len(self._solutions)
+
+    def unsolved_in(self, term: IndexTerm) -> set[EVar]:
+        return {ev for ev in free_evars(self.resolve(term)) if ev not in self._solutions}

@@ -1,0 +1,182 @@
+"""Lexer for DML-lite.
+
+Token kinds:
+
+* ``INT`` — decimal integer literals,
+* ``ID`` — alphanumeric identifiers (including constructor names),
+* ``TYVAR`` — ``'a``-style type variables,
+* keywords (ML's plus ``typeref``, ``assert``, ``where``),
+* punctuation and operators, including the paper's ``<|`` annotation
+  arrow.
+
+Comments are SML's ``(* ... *)`` and nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+from repro.lang.source import SourceFile, Span
+
+KEYWORDS = frozenset(
+    {
+        "fun",
+        "val",
+        "let",
+        "in",
+        "end",
+        "if",
+        "then",
+        "else",
+        "case",
+        "of",
+        "fn",
+        "datatype",
+        "typeref",
+        "with",
+        "assert",
+        "and",
+        "where",
+        "type",
+        "exception",
+        "raise",
+        "handle",
+        "andalso",
+        "orelse",
+        "not",
+        "div",
+        "mod",
+        "true",
+        "false",
+        "op",
+    }
+)
+
+#: Multi-character symbols, longest first so maximal munch works.
+SYMBOLS = (
+    "<|",
+    "=>",
+    "->",
+    "<=",
+    ">=",
+    "<>",
+    "::",
+    "/\\",
+    "\\/",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ":",
+    ";",
+    "|",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "~",
+    "_",
+    ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "INT", "ID", "TYVAR", "EOF", a keyword, or a symbol
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return self.text or self.kind
+
+
+def tokenize(source: SourceFile) -> list[Token]:
+    """Tokenize an entire source file; raises :class:`LexError`."""
+    text = source.text
+    n = len(text)
+    pos = 0
+    tokens: list[Token] = []
+
+    while pos < n:
+        ch = text[pos]
+
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+
+        if text.startswith("(*", pos):
+            pos = _skip_comment(source, pos)
+            continue
+
+        if ch.isdigit():
+            start = pos
+            while pos < n and text[pos].isdigit():
+                pos += 1
+            tokens.append(Token("INT", text[start:pos], Span(start, pos)))
+            continue
+
+        if ch == "'":
+            start = pos
+            pos += 1
+            if pos >= n or not (text[pos].isalpha() or text[pos] == "_"):
+                raise LexError("expected type variable after '", Span(start, pos))
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            tokens.append(Token("TYVAR", text[start:pos], Span(start, pos)))
+            continue
+
+        if ch.isalpha() or ch == "_" and _is_ident_start(text, pos):
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] in "_'"):
+                pos += 1
+            word = text[start:pos]
+            kind = word if word in KEYWORDS else "ID"
+            tokens.append(Token(kind, word, Span(start, pos)))
+            continue
+
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(symbol, symbol, Span(pos, pos + len(symbol))))
+                pos += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", Span(pos, pos + 1))
+
+    tokens.append(Token("EOF", "", Span(n, n)))
+    return tokens
+
+
+def _is_ident_start(text: str, pos: int) -> bool:
+    """A lone ``_`` is the wildcard symbol; ``_foo`` is an identifier."""
+    return pos + 1 < len(text) and (text[pos + 1].isalnum() or text[pos + 1] == "_")
+
+
+def _skip_comment(source: SourceFile, pos: int) -> int:
+    """Skip a nested ``(* ... *)`` comment starting at ``pos``."""
+    text = source.text
+    start = pos
+    depth = 0
+    n = len(text)
+    while pos < n:
+        if text.startswith("(*", pos):
+            depth += 1
+            pos += 2
+        elif text.startswith("*)", pos):
+            depth -= 1
+            pos += 2
+            if depth == 0:
+                return pos
+        else:
+            pos += 1
+    raise LexError("unterminated comment", Span(start, n))

@@ -1,0 +1,256 @@
+"""Pretty printer for DML-lite programs.
+
+Renders AST back to concrete syntax that the parser accepts, such that
+``parse(pretty(parse(src)))`` is structurally identical to
+``parse(src)`` — the round-trip property the test suite checks over
+the whole corpus.  The printer is conservative with parentheses rather
+than minimal: correctness of the round trip beats prettiness.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+#: Operator names rendered infix.
+_INFIX = {"+", "-", "*", "div", "mod", "=", "<>", "<", "<=", ">", ">="}
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def pretty_type(ty: ast.SType) -> str:
+    if isinstance(ty, ast.STyVar):
+        return ty.name
+    if isinstance(ty, ast.STyCon):
+        prefix = ""
+        if len(ty.tyargs) == 1:
+            prefix = _atomic_type(ty.tyargs[0]) + " "
+        elif ty.tyargs:
+            prefix = "(" + ", ".join(pretty_type(t) for t in ty.tyargs) + ") "
+        suffix = ""
+        if ty.iargs:
+            suffix = "(" + ", ".join(str(i) for i in ty.iargs) + ")"
+        return f"{prefix}{ty.name}{suffix}"
+    if isinstance(ty, ast.STyTuple):
+        if not ty.items:
+            return "unit"
+        return " * ".join(_atomic_type(t) for t in ty.items)
+    if isinstance(ty, ast.STyArrow):
+        dom = pretty_type(ty.dom)
+        if isinstance(ty.dom, ast.STyArrow):
+            dom = f"({dom})"
+        return f"{dom} -> {pretty_type(ty.cod)}"
+    if isinstance(ty, (ast.STyPi, ast.STySig)):
+        opener, closer = ("{", "}") if isinstance(ty, ast.STyPi) else ("[", "]")
+        binders = ", ".join(f"{b.name}:{b.sort}" for b in ty.binders)
+        guard = f" | {ty.guard}" if ty.guard is not None else ""
+        return f"{opener}{binders}{guard}{closer} {pretty_type(ty.body)}"
+    raise AssertionError(f"unknown type {ty!r}")
+
+
+def _atomic_type(ty: ast.SType) -> str:
+    text = pretty_type(ty)
+    if isinstance(ty, (ast.STyTuple, ast.STyArrow, ast.STyPi, ast.STySig)):
+        if not (isinstance(ty, ast.STyTuple) and not ty.items):
+            return f"({text})"
+    if isinstance(ty, ast.STyCon) and ty.tyargs:
+        return f"({text})"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+def pretty_pattern(pat: ast.Pattern) -> str:
+    if isinstance(pat, ast.PWild):
+        return "_"
+    if isinstance(pat, ast.PVar):
+        return pat.name
+    if isinstance(pat, ast.PInt):
+        return str(pat.value) if pat.value >= 0 else f"(~{-pat.value})"
+    if isinstance(pat, ast.PBool):
+        return "true" if pat.value else "false"
+    if isinstance(pat, ast.PTuple):
+        return "(" + ", ".join(pretty_pattern(p) for p in pat.items) + ")"
+    if isinstance(pat, ast.PCon):
+        if pat.name == "::" and isinstance(pat.arg, ast.PTuple):
+            head, tail = pat.arg.items
+            return f"({pretty_pattern(head)} :: {pretty_pattern(tail)})"
+        if pat.arg is None:
+            return pat.name
+        return f"{pat.name}{_atomic_pattern(pat.arg)}"
+    raise AssertionError(f"unknown pattern {pat!r}")
+
+
+def _atomic_pattern(pat: ast.Pattern) -> str:
+    text = pretty_pattern(pat)
+    if text.startswith("("):
+        return text
+    return f"({text})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.EInt):
+        return str(expr.value) if expr.value >= 0 else f"(~{-expr.value})"
+    if isinstance(expr, ast.EBool):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.EUnit):
+        return "()"
+    if isinstance(expr, ast.EVar):
+        if expr.name in _INFIX or expr.name == "~":
+            return f"(op {expr.name})"
+        return expr.name
+    if isinstance(expr, ast.ECon):
+        return expr.name
+    if isinstance(expr, ast.EApp):
+        return _pretty_app(expr)
+    if isinstance(expr, ast.ETuple):
+        return "(" + ", ".join(pretty_expr(e) for e in expr.items) + ")"
+    if isinstance(expr, ast.EIf):
+        return (
+            f"(if {pretty_expr(expr.cond)} then {pretty_expr(expr.then)} "
+            f"else {pretty_expr(expr.els)})"
+        )
+    if isinstance(expr, ast.EAndAlso):
+        return f"({pretty_expr(expr.left)} andalso {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.EOrElse):
+        return f"({pretty_expr(expr.left)} orelse {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.ELet):
+        decls = " ".join(pretty_decl(d) for d in expr.decls)
+        return f"let {decls} in {pretty_expr(expr.body)} end"
+    if isinstance(expr, ast.ECase):
+        arms = " | ".join(
+            f"{pretty_pattern(p)} => {pretty_expr(e)}" for p, e in expr.clauses
+        )
+        return f"(case {pretty_expr(expr.scrutinee)} of {arms})"
+    if isinstance(expr, ast.EFn):
+        return f"(fn {pretty_pattern(expr.param)} => {pretty_expr(expr.body)})"
+    if isinstance(expr, ast.ESeq):
+        return "(" + "; ".join(pretty_expr(e) for e in expr.items) + ")"
+    if isinstance(expr, ast.EAnnot):
+        return f"({pretty_expr(expr.expr)} : {pretty_type(expr.ty)})"
+    if isinstance(expr, ast.ERaise):
+        return f"(raise {pretty_expr(expr.expr)})"
+    if isinstance(expr, ast.EHandle):
+        arms = " | ".join(
+            f"{pretty_pattern(p)} => {pretty_expr(e)}" for p, e in expr.clauses
+        )
+        return f"({pretty_expr(expr.expr)} handle {arms})"
+    raise AssertionError(f"unknown expression {expr!r}")
+
+
+def _pretty_app(expr: ast.EApp) -> str:
+    fn, arg = expr.fn, expr.arg
+    if (
+        isinstance(fn, ast.EVar)
+        and fn.name in _INFIX
+        and isinstance(arg, ast.ETuple)
+        and len(arg.items) == 2
+    ):
+        left = _atomic_expr(arg.items[0])
+        right = _atomic_expr(arg.items[1])
+        return f"({left} {fn.name} {right})"
+    if isinstance(fn, ast.EVar) and fn.name == "~":
+        return f"(~ {_atomic_expr(arg)})"
+    if isinstance(fn, ast.EVar) and fn.name == "not":
+        return f"(not {_atomic_expr(arg)})"
+    if (
+        isinstance(fn, ast.ECon)
+        and fn.name == "::"
+        and isinstance(arg, ast.ETuple)
+        and len(arg.items) == 2
+    ):
+        head = _atomic_expr(arg.items[0])
+        tail = _atomic_expr(arg.items[1])
+        return f"({head} :: {tail})"
+    return f"{_atomic_expr(fn)} {_atomic_expr(arg)}"
+
+
+def _atomic_expr(expr: ast.Expr) -> str:
+    text = pretty_expr(expr)
+    if text.startswith("(") or text.isidentifier() or text.isdigit():
+        return text
+    if isinstance(expr, (ast.EVar, ast.ECon, ast.EInt, ast.EBool)):
+        return text
+    return f"({text})"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def pretty_decl(decl: ast.Decl) -> str:
+    if isinstance(decl, ast.DVal):
+        where = (
+            f" : {pretty_type(decl.where_type)}" if decl.where_type else ""
+        )
+        return f"val {pretty_pattern(decl.pat)}{where} = {pretty_expr(decl.expr)}"
+    if isinstance(decl, ast.DFun):
+        return "fun " + " and ".join(
+            _pretty_binding(b) for b in decl.bindings
+        )
+    if isinstance(decl, ast.DDatatype):
+        tyvars = ""
+        if len(decl.tyvars) == 1:
+            tyvars = decl.tyvars[0] + " "
+        elif decl.tyvars:
+            tyvars = "(" + ", ".join(decl.tyvars) + ") "
+        cons = " | ".join(
+            c.name + (f" of {pretty_type(c.arg)}" if c.arg else "")
+            for c in decl.constructors
+        )
+        return f"datatype {tyvars}{decl.name} = {cons}"
+    if isinstance(decl, ast.DTyperef):
+        sorts = ", ".join(str(s) for s in decl.sorts)
+        clauses = " | ".join(
+            f"{c.con} <| {pretty_type(c.ty)}" for c in decl.clauses
+        )
+        return f"typeref {decl.tycon} of {sorts} with {clauses}"
+    if isinstance(decl, ast.DAssert):
+        items = " and ".join(
+            f"{name} <| {pretty_type(ty)}" for name, ty in decl.items
+        )
+        return f"assert {items}"
+    if isinstance(decl, ast.DTypeAbbrev):
+        return f"type {decl.name} = {pretty_type(decl.ty)}"
+    if isinstance(decl, ast.DException):
+        arg = f" of {pretty_type(decl.arg)}" if decl.arg is not None else ""
+        return f"exception {decl.name}{arg}"
+    raise AssertionError(f"unknown declaration {decl!r}")
+
+
+def _pretty_binding(binding: ast.FunBinding) -> str:
+    prefix = ""
+    if binding.typarams:
+        prefix += "(" + ", ".join(binding.typarams) + ")"
+    for b in binding.ixparams:
+        prefix += f"{{{b.name}:{b.sort}}}"
+    clauses = " | ".join(
+        f"{binding.name if i else ''}"
+        f"{' ' if i else ''}"
+        + " ".join(_atomic_pattern(p) for p in clause.params)
+        + f" = {pretty_expr(clause.body)}"
+        for i, clause in enumerate(binding.clauses)
+    )
+    # First clause carries the name via the binding header.
+    head = f"{prefix}{' ' if prefix else ''}{binding.name} "
+    where = (
+        f" where {binding.name} <| {pretty_type(binding.where_type)}"
+        if binding.where_type is not None
+        else ""
+    )
+    return head + clauses + where
+
+
+def pretty_program(program: ast.Program) -> str:
+    return "\n".join(pretty_decl(d) for d in program.decls) + "\n"

@@ -1,0 +1,32 @@
+"""The DML-lite program corpus.
+
+``prelude.dml`` holds the pervasive declarations; the remaining
+``*.dml`` files are the paper's benchmark programs (Section 4) and
+figure listings (Figures 1, 2, 3, 5).
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+_PACKAGE = __name__
+
+
+def load_source(name: str) -> str:
+    """Read a corpus program by basename (with or without ``.dml``)."""
+    if not name.endswith(".dml"):
+        name += ".dml"
+    return resources.files(_PACKAGE).joinpath(name).read_text()
+
+
+def available() -> list[str]:
+    """Names of all corpus programs (prelude excluded)."""
+    names = []
+    for entry in resources.files(_PACKAGE).iterdir():
+        if entry.name.endswith(".dml") and entry.name != "prelude.dml":
+            names.append(entry.name[: -len(".dml")])
+    return sorted(names)
+
+
+def prelude_source() -> str:
+    return load_source("prelude")

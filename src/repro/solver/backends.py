@@ -1,0 +1,83 @@
+"""Uniform interface over the linear-arithmetic decision backends.
+
+A *backend* answers one question: is a conjunction of linear atoms
+unsatisfiable over the integers?  ``True`` must be trustworthy
+(soundness of check elimination depends on it); ``False`` may simply
+mean "not proven".
+
+Available backends:
+
+* ``fourier`` — the paper's method (Fourier elimination + gcd
+  tightening); incomplete but fast.  The default.
+* ``fourier-rational`` — tightening disabled; complete for rationals
+  only.  Demonstrates why the paper needed the rounding rule.
+* ``omega`` — Pugh's Omega test; complete for integers (the paper's
+  stated future work).
+* ``simplex`` — exact rational simplex; like ``fourier-rational`` but
+  by a different algorithm (cross-validation + ablation baseline).
+* ``interval`` — bounds propagation in the SUP-INF spirit (Shostak
+  1977, the paper's other cited alternative); fastest and weakest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.indices.linear import Atom
+from repro.solver import fourier, interval, omega, simplex
+
+
+@dataclass
+class Backend:
+    """A named decision procedure for conjunctions of linear atoms."""
+
+    name: str
+    unsat: Callable[[Sequence[Atom]], bool]
+    #: Complete over the integers (an ``unsat() == False`` answer then
+    #: guarantees integer satisfiability).
+    integer_complete: bool = False
+
+
+def _fourier_unsat(atoms: Sequence[Atom]) -> bool:
+    return fourier.fourier_unsat(atoms, fourier.FourierConfig())
+
+
+def _fourier_rational_unsat(atoms: Sequence[Atom]) -> bool:
+    config = fourier.FourierConfig(integer_tightening=False)
+    return fourier.fourier_unsat(atoms, config)
+
+
+def _omega_unsat(atoms: Sequence[Atom]) -> bool:
+    return omega.omega_unsat(atoms)
+
+
+def _simplex_unsat(atoms: Sequence[Atom]) -> bool:
+    return simplex.simplex_unsat(atoms)
+
+
+def _interval_unsat(atoms: Sequence[Atom]) -> bool:
+    return interval.interval_unsat(atoms)
+
+
+_REGISTRY: dict[str, Backend] = {
+    "fourier": Backend("fourier", _fourier_unsat),
+    "fourier-rational": Backend("fourier-rational", _fourier_rational_unsat),
+    "omega": Backend("omega", _omega_unsat, integer_complete=True),
+    "simplex": Backend("simplex", _simplex_unsat),
+    "interval": Backend("interval", _interval_unsat),
+}
+
+DEFAULT_BACKEND = "fourier"
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown solver backend {name!r} (known: {known})") from None
+
+
+def backend_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,221 @@
+"""Fourier variable elimination with integer tightening (Section 3.2).
+
+The paper's solver shows a conjunction of linear constraints
+unsatisfiable by repeatedly eliminating a variable ``x``: every pair
+``l1 <= a1*x`` and ``a2*x <= l2`` (``a1, a2 > 0``) contributes the new
+inequality ``a2*l1 <= a1*l2``, after which all constraints mentioning
+``x`` are dropped.  This is sound and, over the rationals, complete.
+
+To "handle modular arithmetic" the paper adds a rounding step: an
+inequality ``a1*x1 + ... + an*xn <= a`` is strengthened to
+``... <= a'`` where ``a'`` is the largest integer ``<= a`` divisible by
+``gcd(a1..an)``.  In our ``lhs >= 0`` normal form this is: divide the
+variable coefficients by their gcd ``g`` and replace the constant ``c``
+by ``floor(c / g)`` — sound only over the integers, and exactly what is
+needed to type-check the optimized byte-copy function.
+
+The procedure remains *incomplete* over the integers (rationally
+satisfiable but integrally unsatisfiable systems can survive); the
+complete :mod:`repro.solver.omega` backend exists for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import floor, gcd
+from typing import Iterable, Sequence
+
+from repro.indices.linear import Atom, LinComb, LinVar
+
+
+@dataclass
+class FourierStats:
+    """Operation counters for the benchmark harness."""
+
+    eliminations: int = 0
+    pair_combinations: int = 0
+    tightenings: int = 0
+
+
+@dataclass
+class FourierConfig:
+    """Tuning knobs, primarily for the ablation benchmarks."""
+
+    integer_tightening: bool = True
+    #: Abort (returning "unknown") once this many inequalities exist.
+    max_inequalities: int = 20_000
+    #: Abort after eliminating this many variables (defensive; the
+    #: paper's constraints have at most a handful of variables).
+    max_eliminations: int = 64
+
+
+def _tighten(ineq: LinComb, config: FourierConfig, stats: FourierStats) -> LinComb:
+    """Apply the gcd rounding rule to ``ineq >= 0``."""
+    if not config.integer_tightening:
+        return ineq
+    g = ineq.content()
+    if g <= 1:
+        return ineq
+    new_const = floor(ineq.const / g)
+    if new_const * g != ineq.const:
+        stats.tightenings += 1
+    return LinComb(
+        tuple((v, c // g) for v, c in ineq.coeffs),
+        new_const,
+    )
+
+
+def _expand_equalities(atoms: Iterable[Atom]) -> list[LinComb] | None:
+    """Normalize atoms to pure inequalities ``lin >= 0``.
+
+    Equalities whose coefficients' gcd does not divide the constant are
+    an immediate integer contradiction, signalled by returning ``None``.
+    Other equalities become a pair of opposite inequalities.
+    """
+    ineqs: list[LinComb] = []
+    for atom in atoms:
+        if atom.rel == "=":
+            g = atom.lhs.content()
+            if g == 0:
+                if atom.lhs.const != 0:
+                    return None
+                continue
+            if atom.lhs.const % g != 0:
+                return None
+            ineqs.append(atom.lhs)
+            ineqs.append(-atom.lhs)
+        else:
+            ineqs.append(atom.lhs)
+    return ineqs
+
+
+def _substitute_unit_equalities(atoms: Sequence[Atom]) -> list[Atom] | None:
+    """Use equalities with a +-1 coefficient to eliminate variables.
+
+    This mirrors the "eliminate existential variables / solve simple
+    equations first" preprocessing and keeps the inequality set small.
+    Returns ``None`` on an immediate contradiction.
+    """
+    work = list(atoms)
+    progress = True
+    while progress:
+        progress = False
+        for i, atom in enumerate(work):
+            if atom.rel != "=":
+                continue
+            unit_var: LinVar | None = None
+            unit_coeff = 0
+            for var, coeff in atom.lhs.coeffs:
+                if abs(coeff) == 1:
+                    unit_var = var
+                    unit_coeff = coeff
+                    break
+            if unit_var is None:
+                continue
+            # coeff * var + rest = 0  =>  var = -rest / coeff
+            rest = atom.lhs.drop(unit_var)
+            replacement = rest.scale(-unit_coeff)  # coeff in {1,-1}
+            new_work: list[Atom] = []
+            for j, other in enumerate(work):
+                if j == i:
+                    continue
+                new_lhs = other.lhs.substitute(unit_var, replacement)
+                new_atom = Atom(other.rel, new_lhs)
+                if new_atom.is_trivially_false():
+                    return None
+                if not new_atom.is_trivially_true():
+                    new_work.append(new_atom)
+            work = new_work
+            progress = True
+            break
+    return work
+
+
+def _pick_variable(ineqs: Sequence[LinComb]) -> LinVar | None:
+    """Choose the variable whose elimination produces the fewest new
+    inequalities (classic FM heuristic)."""
+    occurrences: dict[LinVar, tuple[int, int]] = {}
+    for ineq in ineqs:
+        for var, coeff in ineq.coeffs:
+            lower, upper = occurrences.get(var, (0, 0))
+            # ineq >= 0 with positive coeff bounds var from below.
+            if coeff > 0:
+                occurrences[var] = (lower + 1, upper)
+            else:
+                occurrences[var] = (lower, upper + 1)
+    if not occurrences:
+        return None
+    return min(
+        occurrences,
+        key=lambda v: (occurrences[v][0] * occurrences[v][1], repr(v)),
+    )
+
+
+def fourier_unsat(
+    atoms: Sequence[Atom],
+    config: FourierConfig | None = None,
+    stats: FourierStats | None = None,
+) -> bool:
+    """Return ``True`` iff the conjunction of ``atoms`` is shown
+    unsatisfiable over the integers.
+
+    ``False`` means "not shown unsatisfiable" — over the rationals the
+    procedure is complete, so with tightening disabled ``False``
+    guarantees rational satisfiability; with tightening enabled the
+    answer is still only one-sided.
+    """
+    config = config or FourierConfig()
+    stats = stats if stats is not None else FourierStats()
+
+    pre = _substitute_unit_equalities(list(atoms))
+    if pre is None:
+        return True
+    ineqs = _expand_equalities(pre)
+    if ineqs is None:
+        return True
+
+    ineqs = [_tighten(iq, config, stats) for iq in ineqs]
+    for iq in ineqs:
+        if iq.is_const() and iq.const < 0:
+            return True
+
+    for _ in range(config.max_eliminations):
+        var = _pick_variable(ineqs)
+        if var is None:
+            # Only constant inequalities remain; all are >= 0 here.
+            return False
+        stats.eliminations += 1
+
+        lowers: list[LinComb] = []  # a*x >= l  (coeff > 0)
+        uppers: list[LinComb] = []  # a*x <= u  (coeff < 0)
+        rest: list[LinComb] = []
+        for iq in ineqs:
+            coeff = iq.coeff(var)
+            if coeff > 0:
+                lowers.append(iq)
+            elif coeff < 0:
+                uppers.append(iq)
+            else:
+                rest.append(iq)
+
+        new_ineqs = rest
+        for low in lowers:
+            a1 = low.coeff(var)
+            for up in uppers:
+                a2 = -up.coeff(var)
+                stats.pair_combinations += 1
+                # low: a1*x + L >= 0, up: -a2*x + U >= 0
+                # =>  a2*L + a1*U >= 0
+                combined = low.drop(var).scale(a2) + up.drop(var).scale(a1)
+                combined = _tighten(combined, config, stats)
+                if combined.is_const():
+                    if combined.const < 0:
+                        return True
+                    continue
+                new_ineqs.append(combined)
+                if len(new_ineqs) > config.max_inequalities:
+                    return False
+        ineqs = new_ineqs
+        if not ineqs:
+            return False
+    return False

@@ -1,0 +1,568 @@
+"""Constraint simplification and goal proving (Sections 3.1-3.2).
+
+This module bridges the constraint *language* (quantified implications
+over boolean index terms) and the decision *backends* (conjunctions of
+linear atoms):
+
+1. :func:`extract_goals` flattens a constraint tree into a list of
+   :class:`Goal` — each a universally quantified implication
+   ``forall vars. hyps ==> concl`` — substituting fresh existential
+   variables for ``exists`` binders.
+2. :func:`solve_evars` eliminates existential variables by
+   scope-checked equational solving, the step Section 3.1 reports as
+   "crucial in practice".
+3. :func:`prove_goal` negates the conclusion, eliminates ``div``,
+   ``mod``, ``min``, ``max``, ``abs`` and ``sgn`` via fresh variables
+   with defining constraints, splits disjunctions (and ``<>``) into
+   cases, and asks a backend to refute every case.
+
+Everything fails *closed*: any goal that cannot be put in linear form
+or whose cases cannot all be refuted is reported unproved, and the
+corresponding run-time check is kept.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.indices import terms
+from repro.indices.constraints import (
+    CAnd,
+    CExists,
+    CForall,
+    CImpl,
+    CProp,
+    CTrue,
+    Constraint,
+)
+from repro.indices.linear import (
+    Atom,
+    LinComb,
+    NonLinearIndex,
+    UnsupportedIndex,
+    atoms_of_cmp,
+    linearize,
+)
+from repro.indices.sorts import BOOL, INT, Sort
+from repro.indices.terms import (
+    And,
+    BConst,
+    BinOp,
+    Cmp,
+    EVar,
+    EvarStore,
+    IConst,
+    IVar,
+    IndexTerm,
+    Not,
+    Or,
+    UnOp,
+)
+from repro.lang.source import DUMMY_SPAN, Span
+from repro.solver.backends import Backend, get_backend
+
+
+@dataclass
+class Goal:
+    """``forall rigid. hyps ==> concl`` with provenance."""
+
+    rigid: dict[str, Sort]
+    hyps: list[IndexTerm]
+    concl: IndexTerm
+    origin: str = ""
+    span: Span = DUMMY_SPAN
+
+    def __str__(self) -> str:
+        quant = "".join(
+            f"forall {name}:{sort}. " for name, sort in self.rigid.items()
+        )
+        if self.hyps:
+            hyp_text = " /\\ ".join(str(h) for h in self.hyps)
+            return f"{quant}({hyp_text}) ==> {self.concl}"
+        return f"{quant}{self.concl}"
+
+
+@dataclass
+class GoalResult:
+    goal: Goal
+    proved: bool
+    reason: str = ""
+    cases: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass
+class SolveStats:
+    """Aggregate statistics for one program (feeds Table 1)."""
+
+    goals: int = 0
+    proved: int = 0
+    failed: int = 0
+    cases: int = 0
+    evars_created: int = 0
+    evars_solved: int = 0
+    solve_seconds: float = 0.0
+
+
+class UnsupportedGoal(Exception):
+    """The goal cannot be reduced to linear integer arithmetic."""
+
+
+# ---------------------------------------------------------------------------
+# Goal extraction
+# ---------------------------------------------------------------------------
+
+
+def extract_goals(constraint: Constraint, store: EvarStore) -> list[Goal]:
+    """Flatten a constraint tree into proof goals.
+
+    ``exists`` binders are replaced by fresh evars scoped to the rigid
+    variables currently in scope, with the binder sort's membership
+    constraint recorded as an extra proof obligation on the witness.
+    """
+    goals: list[Goal] = []
+
+    def walk(
+        node: Constraint,
+        rigid: dict[str, Sort],
+        hyps: tuple[IndexTerm, ...],
+        subst_map: dict[str, IndexTerm],
+    ) -> None:
+        if isinstance(node, CTrue):
+            return
+        if isinstance(node, CProp):
+            prop = terms.subst(node.prop, subst_map)
+            goals.append(
+                Goal(dict(rigid), list(hyps), prop, node.origin, node.span)
+            )
+            return
+        if isinstance(node, CAnd):
+            walk(node.left, rigid, hyps, subst_map)
+            walk(node.right, rigid, hyps, subst_map)
+            return
+        if isinstance(node, CImpl):
+            hyp = terms.subst(node.hyp, subst_map)
+            walk(node.body, rigid, hyps + (hyp,), subst_map)
+            return
+        if isinstance(node, CForall):
+            name = node.var
+            if name in rigid or name in subst_map:
+                # alpha-rename to avoid shadowing.
+                fresh = _fresh_name(name, set(rigid) | set(subst_map))
+                inner_subst = dict(subst_map)
+                inner_subst[name] = IVar(fresh)
+                name = fresh
+            else:
+                inner_subst = dict(subst_map)
+            new_rigid = dict(rigid)
+            new_rigid[name] = node.sort
+            membership = node.sort.constraint_on(IVar(name))
+            new_hyps = hyps
+            if not (isinstance(membership, BConst) and membership.value):
+                new_hyps = hyps + (membership,)
+            walk(node.body, new_rigid, new_hyps, inner_subst)
+            return
+        if isinstance(node, CExists):
+            evar = store.fresh(node.var, set(rigid))
+            inner_subst = dict(subst_map)
+            inner_subst[node.var] = evar
+            membership = node.sort.constraint_on(evar)
+            if not (isinstance(membership, BConst) and membership.value):
+                goals.append(
+                    Goal(dict(rigid), list(hyps), membership, "witness sort", DUMMY_SPAN)
+                )
+            walk(node.body, rigid, hyps, inner_subst)
+            return
+        raise AssertionError(f"unknown constraint node {node!r}")
+
+    walk(constraint, {}, (), {})
+    return goals
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    for i in itertools.count(1):
+        candidate = f"{base}'{i}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+# ---------------------------------------------------------------------------
+# Existential variable elimination (Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+def _equational_solution(
+    prop: IndexTerm, store: EvarStore
+) -> tuple[EVar, IndexTerm] | None:
+    """If ``prop`` is an equality determining an unsolved evar with a
+    unit coefficient, return ``(evar, witness)``."""
+    if not (isinstance(prop, Cmp) and prop.op == "="):
+        return None
+    try:
+        lhs = linearize(store.resolve(prop.left)) - linearize(
+            store.resolve(prop.right)
+        )
+    except (NonLinearIndex, UnsupportedIndex):
+        return None
+    for var, coeff in lhs.coeffs:
+        if isinstance(var, EVar) and not store.is_solved(var) and abs(coeff) == 1:
+            rest = lhs.drop(var).scale(-coeff)
+            witness = _lincomb_to_term(rest)
+            if var not in terms.free_evars(witness):
+                return var, witness
+    return None
+
+
+def _lincomb_to_term(lin: LinComb) -> IndexTerm:
+    result: IndexTerm = IConst(lin.const)
+    for var, coeff in lin.coeffs:
+        base: IndexTerm = IVar(var) if isinstance(var, str) else var
+        result = terms.iadd(result, terms.imul(IConst(coeff), base))
+    return result
+
+
+def solve_evars(goals: list[Goal], store: EvarStore) -> int:
+    """Repeatedly mine goals for evar-determining equalities.
+
+    Conclusions are preferred over hypotheses (solving a conclusion
+    makes the goal trivial; solving from a hypothesis instantiates the
+    evar with the only value under which the hypothesis can hold).
+    Returns the number of evars solved.
+    """
+    solved = 0
+    progress = True
+    while progress:
+        progress = False
+        for goal in goals:
+            candidates = [goal.concl] + goal.hyps
+            for prop in candidates:
+                resolved = store.resolve(prop)
+                if not store.unsolved_in(resolved):
+                    continue
+                solution = _equational_solution(resolved, store)
+                if solution is not None and store.solve(*solution):
+                    solved += 1
+                    progress = True
+    return solved
+
+
+# ---------------------------------------------------------------------------
+# Operator elimination: div / mod / min / max / abs / sgn
+# ---------------------------------------------------------------------------
+
+
+class _Definitions:
+    """Fresh-variable definitions introduced while flattening a goal."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.props: list[IndexTerm] = []
+        self.cache: dict[IndexTerm, IVar] = {}
+
+    def fresh(self, hint: str) -> IVar:
+        self.counter += 1
+        return IVar(f"${hint}{self.counter}")
+
+
+def _eliminate_ops(term: IndexTerm, defs: _Definitions) -> IndexTerm:
+    """Rewrite eliminable integer operators to fresh variables, adding
+    their defining constraints to ``defs.props``."""
+
+    def rewrite(node: IndexTerm) -> IndexTerm | None:
+        if isinstance(node, BinOp) and node.op in {"div", "mod"}:
+            return _define_divmod(node, defs)
+        if isinstance(node, BinOp) and node.op in {"min", "max"}:
+            return _define_minmax(node, defs)
+        if isinstance(node, UnOp) and node.op == "abs":
+            return _define_abs(node, defs)
+        if isinstance(node, UnOp) and node.op == "sgn":
+            return _define_sgn(node, defs)
+        return None
+
+    return terms.transform(term, rewrite)
+
+
+def _define_divmod(node: BinOp, defs: _Definitions) -> IndexTerm:
+    if node in defs.cache:
+        quotient = defs.cache[node]
+    else:
+        divisor = node.right
+        if not isinstance(divisor, IConst) or divisor.value == 0:
+            raise UnsupportedGoal(
+                f"cannot linearize {node.op} with non-constant divisor: {node}"
+            )
+        c = divisor.value
+        key = BinOp("div", node.left, node.right)
+        if key in defs.cache:
+            quotient = defs.cache[key]
+        else:
+            quotient = defs.fresh("q")
+            defs.cache[key] = quotient
+            numerator = node.left
+            if c > 0:
+                # c*q <= numerator <= c*q + c - 1  (floor division)
+                defs.props.append(terms.cmp("<=", terms.imul(IConst(c), quotient), numerator))
+                defs.props.append(
+                    terms.cmp(
+                        "<=",
+                        numerator,
+                        terms.iadd(terms.imul(IConst(c), quotient), IConst(c - 1)),
+                    )
+                )
+            else:
+                # floor with negative divisor: c*q >= numerator >= c*q + c + 1
+                defs.props.append(terms.cmp(">=", terms.imul(IConst(c), quotient), numerator))
+                defs.props.append(
+                    terms.cmp(
+                        ">=",
+                        numerator,
+                        terms.iadd(terms.imul(IConst(c), quotient), IConst(c + 1)),
+                    )
+                )
+        defs.cache[node] = quotient
+    if node.op == "div":
+        return quotient
+    # mod(i, c) = i - c * div(i, c)
+    assert isinstance(node.right, IConst)
+    return terms.isub(node.left, terms.imul(node.right, quotient))
+
+
+def _define_minmax(node: BinOp, defs: _Definitions) -> IndexTerm:
+    if node in defs.cache:
+        return defs.cache[node]
+    var = defs.fresh("m")
+    defs.cache[node] = var
+    rel = "<=" if node.op == "min" else ">="
+    defs.props.append(terms.cmp(rel, var, node.left))
+    defs.props.append(terms.cmp(rel, var, node.right))
+    defs.props.append(
+        terms.bor(
+            terms.cmp("=", var, node.left),
+            terms.cmp("=", var, node.right),
+        )
+    )
+    return var
+
+
+def _define_abs(node: UnOp, defs: _Definitions) -> IndexTerm:
+    if node in defs.cache:
+        return defs.cache[node]
+    var = defs.fresh("v")
+    defs.cache[node] = var
+    defs.props.append(terms.cmp(">=", var, node.arg))
+    defs.props.append(terms.cmp(">=", var, terms.ineg(node.arg)))
+    defs.props.append(
+        terms.bor(
+            terms.cmp("=", var, node.arg),
+            terms.cmp("=", var, terms.ineg(node.arg)),
+        )
+    )
+    return var
+
+
+def _define_sgn(node: UnOp, defs: _Definitions) -> IndexTerm:
+    if node in defs.cache:
+        return defs.cache[node]
+    var = defs.fresh("s")
+    defs.cache[node] = var
+    arg = node.arg
+    defs.props.append(
+        terms.bor(
+            terms.bor(
+                terms.band(terms.cmp(">", arg, terms.ZERO), terms.cmp("=", var, terms.ONE)),
+                terms.band(terms.cmp("=", arg, terms.ZERO), terms.cmp("=", var, terms.ZERO)),
+            ),
+            terms.band(terms.cmp("<", arg, terms.ZERO), terms.cmp("=", var, IConst(-1))),
+        )
+    )
+    return var
+
+
+# ---------------------------------------------------------------------------
+# Case splitting and backend dispatch
+# ---------------------------------------------------------------------------
+
+#: A literal is a comparison, a (possibly negated) boolean variable, or
+#: a boolean constant.
+_MAX_CASES = 4096
+
+
+def _split_cases(formula: IndexTerm) -> list[list[IndexTerm]]:
+    """DNF of a boolean index term, as a list of literal lists."""
+    if isinstance(formula, And):
+        result = []
+        for left in _split_cases(formula.left):
+            for right in _split_cases(formula.right):
+                result.append(left + right)
+                if len(result) > _MAX_CASES:
+                    raise UnsupportedGoal("case explosion during DNF split")
+        return result
+    if isinstance(formula, Or):
+        return _split_cases(formula.left) + _split_cases(formula.right)
+    if isinstance(formula, Not):
+        inner = formula.arg
+        if isinstance(inner, (IVar, EVar)):
+            return [[formula]]  # negated boolean variable literal
+        return _split_cases(_negate(inner))
+    return [[formula]]
+
+
+def _negate(formula: IndexTerm) -> IndexTerm:
+    if isinstance(formula, And):
+        return Or(_negate(formula.left), _negate(formula.right))
+    if isinstance(formula, Or):
+        return And(_negate(formula.left), _negate(formula.right))
+    if isinstance(formula, Not):
+        return formula.arg
+    if isinstance(formula, Cmp):
+        return Cmp(terms.CMP_NEGATION[formula.op], formula.left, formula.right)
+    if isinstance(formula, BConst):
+        return BConst(not formula.value)
+    # boolean variable
+    return Not(formula)
+
+
+def _case_to_atom_sets(literals: list[IndexTerm]) -> list[list[Atom]] | None:
+    """Convert one DNF case into conjunctions of linear atoms.
+
+    Returns ``None`` when the case is propositionally unsatisfiable
+    (conflicting boolean literals or a ``false`` constant).  ``<>``
+    comparisons fan out into further sub-cases, hence a list of sets.
+    """
+    pos_bools: set[IndexTerm] = set()
+    neg_bools: set[IndexTerm] = set()
+    atom_choices: list[list[list[Atom]]] = []
+    for literal in literals:
+        if isinstance(literal, BConst):
+            if not literal.value:
+                return None
+            continue
+        if isinstance(literal, (IVar, EVar)):
+            if literal in neg_bools:
+                return None
+            pos_bools.add(literal)
+            continue
+        if isinstance(literal, Not):
+            inner = literal.arg
+            if inner in pos_bools:
+                return None
+            neg_bools.add(inner)
+            continue
+        if isinstance(literal, Cmp):
+            try:
+                atom_choices.append(atoms_of_cmp(literal))
+            except NonLinearIndex as exc:
+                raise UnsupportedGoal(str(exc)) from exc
+            except UnsupportedIndex as exc:  # pragma: no cover - defensive
+                raise UnsupportedGoal(str(exc)) from exc
+            continue
+        raise UnsupportedGoal(f"unsupported literal in goal: {literal}")
+    if pos_bools & neg_bools:
+        return None
+
+    # Cartesian product over the <> fan-outs.
+    result: list[list[Atom]] = [[]]
+    for choices in atom_choices:
+        new_result = []
+        for base in result:
+            for choice in choices:
+                new_result.append(base + choice)
+                if len(new_result) > _MAX_CASES:
+                    raise UnsupportedGoal("case explosion from disequalities")
+        result = new_result
+    return result
+
+
+def prove_goal(
+    goal: Goal,
+    store: EvarStore,
+    backend: Backend | None = None,
+    stats: SolveStats | None = None,
+) -> GoalResult:
+    """Attempt to discharge one goal; never raises."""
+    backend = backend or get_backend()
+    started = time.perf_counter()
+
+    def finish(proved: bool, reason: str = "", cases: int = 0) -> GoalResult:
+        elapsed = time.perf_counter() - started
+        if stats is not None:
+            stats.goals += 1
+            stats.cases += cases
+            stats.solve_seconds += elapsed
+            if proved:
+                stats.proved += 1
+            else:
+                stats.failed += 1
+        return GoalResult(goal, proved, reason, cases, elapsed)
+
+    concl = store.resolve(goal.concl)
+    hyps = [store.resolve(h) for h in goal.hyps]
+    # Sort memberships of the rigid variables are hypotheses too; the
+    # extraction pass includes them in goal.hyps already, but adding
+    # them here (duplicates are harmless) makes hand-built goals
+    # self-contained.
+    for name, sort in goal.rigid.items():
+        membership = sort.constraint_on(terms.IVar(name))
+        if not (isinstance(membership, BConst) and membership.value):
+            hyps.append(membership)
+
+    leftover = store.unsolved_in(concl)
+    for hyp in hyps:
+        leftover |= store.unsolved_in(hyp)
+    if leftover:
+        names = ", ".join(sorted(str(e) for e in leftover))
+        return finish(False, f"unresolved existential variable(s): {names}")
+
+    if isinstance(concl, BConst) and concl.value:
+        return finish(True, "trivial", 0)
+
+    try:
+        total_atom_sets = 0
+        for atoms in goal_atom_sets(hyps, concl):
+            total_atom_sets += 1
+            if not backend.unsat(atoms):
+                return finish(
+                    False,
+                    f"backend {backend.name} could not refute a case",
+                    total_atom_sets,
+                )
+        return finish(True, "", total_atom_sets)
+    except UnsupportedGoal as exc:
+        return finish(False, str(exc))
+
+
+def goal_atom_sets(hyps: list[IndexTerm], concl: IndexTerm):
+    """Yield the atom conjunctions whose joint refutation proves
+    ``hyps ==> concl`` — i.e. the DNF cases of ``hyps /\\ ~concl``
+    after div/mod/min/max/abs/sgn elimination.
+
+    Raises :class:`UnsupportedGoal` on nonlinearity or inexpressible
+    operators.  Shared by :func:`prove_goal` and the counterexample
+    search in :mod:`repro.solver.diagnose`.
+    """
+    defs = _Definitions()
+    flat_hyps = [_eliminate_ops(h, defs) for h in hyps]
+    flat_concl = _eliminate_ops(concl, defs)
+    formula = terms.conj(flat_hyps + defs.props + [_negate(flat_concl)])
+    for literals in _split_cases(formula):
+        atom_sets = _case_to_atom_sets(literals)
+        if atom_sets is None:
+            continue  # propositionally refuted
+        yield from atom_sets
+
+
+def prove_all(
+    constraint: Constraint,
+    store: EvarStore,
+    backend: Backend | None = None,
+    stats: SolveStats | None = None,
+) -> list[GoalResult]:
+    """The full Section 3 pipeline for one constraint tree."""
+    goals = extract_goals(constraint, store)
+    solved = solve_evars(goals, store)
+    if stats is not None:
+        stats.evars_solved += solved
+    return [prove_goal(goal, store, backend, stats) for goal in goals]

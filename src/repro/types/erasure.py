@@ -1,0 +1,55 @@
+"""Erasure from dependent types to plain ML types.
+
+Erasure forgets all index information: ``int(n)`` becomes ``int``,
+quantifiers disappear, and families keep only their type arguments.
+Conservativity (Section 2.1's third bullet) is checked against erasure:
+a ``typeref`` refinement is only accepted when each refined constructor
+type erases to the constructor's declared ML type, and a ``where``
+annotation only when it erases to the function's inferred ML type.
+"""
+
+from __future__ import annotations
+
+from repro.types import mltype as ml
+from repro.types import types as dt
+
+
+def erase(ty: dt.DType) -> ml.MLType:
+    """Erase a dependent type to its ML skeleton."""
+    if isinstance(ty, dt.DTyVar):
+        return ml.MLRigid(ty.name)
+    if isinstance(ty, dt.DMeta):
+        # Metas only appear mid-elaboration; erase to a rigid stand-in.
+        return ml.MLRigid(f"'meta{ty.uid}")
+    if isinstance(ty, dt.DBase):
+        return ml.MLCon(ty.name, tuple(erase(t) for t in ty.tyargs))
+    if isinstance(ty, dt.DTuple):
+        return ml.MLTuple(tuple(erase(t) for t in ty.items))
+    if isinstance(ty, dt.DArrow):
+        return ml.MLArrow(erase(ty.dom), erase(ty.cod))
+    if isinstance(ty, (dt.DPi, dt.DSig)):
+        return erase(ty.body)
+    raise AssertionError(f"unknown dependent type {ty!r}")
+
+
+def erase_scheme(scheme: dt.DScheme) -> ml.MLScheme:
+    return ml.MLScheme(scheme.tyvars, erase(scheme.body))
+
+
+def ml_equal(a: ml.MLType, b: ml.MLType) -> bool:
+    """Structural equality of fully resolved ML types."""
+    if isinstance(a, ml.MLRigid) and isinstance(b, ml.MLRigid):
+        return a.name == b.name
+    if isinstance(a, ml.MLCon) and isinstance(b, ml.MLCon):
+        return (
+            a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(ml_equal(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, ml.MLTuple) and isinstance(b, ml.MLTuple):
+        return len(a.items) == len(b.items) and all(
+            ml_equal(x, y) for x, y in zip(a.items, b.items)
+        )
+    if isinstance(a, ml.MLArrow) and isinstance(b, ml.MLArrow):
+        return ml_equal(a.dom, b.dom) and ml_equal(a.cod, b.cod)
+    return a == b

@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness (table generation machinery)."""
+
+import pytest
+
+from repro.bench import harness, tables
+from repro.bench.workloads import SIZES, TABLE_ORDER, WORKLOADS
+
+
+class TestWorkloads:
+    def test_all_presets_defined(self):
+        for program, presets in SIZES.items():
+            assert {"small", "default", "paper"} <= set(presets), program
+
+    def test_paper_sizes_match_section4(self):
+        assert SIZES["bcopy"]["paper"] == {"bytes": 1_048_576, "times": 10}
+        assert SIZES["bsearch"]["paper"]["size"] == 2**20
+        assert SIZES["bubblesort"]["paper"]["size"] == 2**13
+        assert SIZES["matmult"]["paper"]["dim"] == 256
+        assert SIZES["queens"]["paper"]["board"] == 12
+        assert SIZES["quicksort"]["paper"]["size"] == 2**20
+        assert SIZES["hanoi"]["paper"]["disks"] == 24
+        assert SIZES["listaccess"]["paper"]["times"] == 2**20
+
+    def test_table_order_is_papers(self):
+        assert TABLE_ORDER == [
+            "bcopy", "binary search", "bubble sort", "matrix mult",
+            "queen", "quick sort", "hanoi towers", "list access",
+        ]
+
+    def test_args_are_fresh_each_call(self):
+        workload = WORKLOADS["bubble sort"]
+        a1 = workload.args_for("small", "compiled")
+        a2 = workload.args_for("small", "compiled")
+        assert a1 == a2  # deterministic seed
+        assert a1[0] is not a2[0]  # but fresh objects
+
+    def test_interp_and_compiled_lists_differ_in_representation(self):
+        workload = WORKLOADS["list access"]
+        (interp_args,) = workload.args_for("small", "interp")
+        (compiled_args,) = workload.args_for("small", "compiled")
+        from repro.eval.values import ConV
+
+        assert isinstance(interp_args[0], ConV)
+        assert isinstance(compiled_args[0], tuple)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = harness.table1(["binary search", "quick sort"])
+        assert [r.program for r in rows] == ["binary search", "quick sort"]
+        for row in rows:
+            assert row.constraints > 0
+            assert row.annotations > 0
+            assert 0 < row.annotation_lines <= row.total_lines
+
+    def test_render(self):
+        text = tables.render_table1(harness.table1(["queen"]))
+        assert "queen" in text and "constraints" in text
+
+
+class TestAnnotationCounting:
+    def test_counts_where_and_asserts(self):
+        from repro import api
+        from repro.bench.harness import count_annotations
+
+        source = (
+            "assert foo <| int -> int\n"
+            "fun f(x) = (x : int) where f <| int -> int\n"
+        )
+        report = api.check(source, "<t>")
+        count, lines = count_annotations(report.program, source)
+        assert count == 3  # assert item + where + ascription
+        assert lines >= 1
+
+    def test_code_lines_strips_comments(self):
+        from repro.bench.harness import count_code_lines
+
+        source = "(* a\n b *)\nfun f(x) = x\n\n(* trailing *)\n"
+        assert count_code_lines(source) == 1
+
+
+class TestTable23:
+    def test_compiled_engine_row(self):
+        rows = harness.table23(["queen"], preset="small", engine="compiled",
+                               repeats=1)
+        (row,) = rows
+        assert row.checks_eliminated > 0
+        assert row.with_checks_seconds > 0
+        assert 0 <= row.gain_percent <= 100 or row.gain_percent < 0
+
+    def test_interp_engine_row(self):
+        rows = harness.table23(["hanoi towers"], preset="small",
+                               engine="interp", repeats=1)
+        (row,) = rows
+        assert row.checks_eliminated > 0
+
+    def test_render(self):
+        rows = harness.table23(["queen"], preset="small", engine="compiled",
+                               repeats=1)
+        text = tables.render_table23(rows, "T")
+        assert "checks eliminated" in text
+
+
+class TestFigure4AndAblation:
+    def test_figure4_lines(self):
+        lines = harness.figure4()
+        assert len(lines) >= 5
+        assert all("div" in line for line in lines)
+
+    def test_solver_ablation_shape(self):
+        rows = harness.solver_ablation(["bcopy"])
+        (row,) = rows
+        assert row.results["fourier"][0] == row.results["fourier"][1]
+        assert row.results["omega"][0] == row.results["omega"][1]
+        assert row.results["fourier-rational"][0] < row.results["fourier-rational"][1]
+        text = tables.render_solver_ablation(rows)
+        assert "bcopy" in text
+
+    def test_existentials_all_solved(self):
+        rows = harness.existentials_table(["binary search"])
+        (row,) = rows
+        assert row.created == row.solved
+        assert row.unsolved_in_failed_goals == 0
+        assert "evars" in tables.render_existentials(rows)

@@ -1,0 +1,151 @@
+"""Unit tests for code-generation internals: tail-call analysis,
+statement detection, and generated-source structure."""
+
+from repro import api
+from repro.compile.pycodegen import (
+    _emits_statements,
+    _is_self_tail_recursive,
+    compile_program,
+)
+from repro.lang.parser import parse_expression, parse_program
+
+
+def binding_of(source: str):
+    program = parse_program(source)
+    for decl in program.decls:
+        if hasattr(decl, "bindings"):
+            return decl.bindings[0]
+    raise AssertionError("no fun declaration in source")
+
+
+class TestTailDetection:
+    def test_simple_tail_loop(self):
+        binding = binding_of(
+            "fun loop(i, acc) = if i = 0 then acc else loop(i - 1, acc)"
+        )
+        assert _is_self_tail_recursive(binding)
+
+    def test_non_tail_recursion(self):
+        binding = binding_of(
+            "fun fact(n) = if n = 0 then 1 else n * fact(n - 1)"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+    def test_no_recursion_at_all(self):
+        binding = binding_of("fun inc(x) = x + 1")
+        assert not _is_self_tail_recursive(binding)
+
+    def test_tail_in_case_arms(self):
+        binding = binding_of(
+            "fun go(l, acc) = case l of nil => acc | x::xs => go(xs, acc + x)"
+        )
+        assert _is_self_tail_recursive(binding)
+
+    def test_tail_under_let(self):
+        binding = binding_of(
+            "fun go(i) = if i = 0 then 0 "
+            "else let val j = i - 1 in go(j) end"
+        )
+        assert _is_self_tail_recursive(binding)
+
+    def test_tail_in_seq_last(self):
+        binding = binding_of(
+            "fun go(a, i) = if i = 0 then () "
+            "else (updateCK(a, 0, i); go(a, i - 1))"
+        )
+        assert _is_self_tail_recursive(binding)
+
+    def test_self_call_in_seq_non_last_disables(self):
+        binding = binding_of(
+            "fun go(i) = if i = 0 then () else (go(i - 1); ())"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+    def test_self_reference_as_value_disables(self):
+        binding = binding_of(
+            "fun go(f, i) = if i = 0 then 0 else go(go, i - 1)"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+    def test_self_call_in_argument_disables(self):
+        binding = binding_of(
+            "fun go(i) = if i = 0 then 0 else go(go(i - 1))"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+    def test_handle_disables(self):
+        binding = binding_of(
+            "exception E fun go(i) = (if i = 0 then 0 else go(i - 1)) "
+            "handle E => 0"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+    def test_tail_under_andalso_is_not_tail(self):
+        binding = binding_of(
+            "fun go(i) = i > 0 andalso go(i - 1)"
+        )
+        assert not _is_self_tail_recursive(binding)
+
+
+class TestEmitsStatements:
+    def test_pure_arithmetic(self):
+        assert not _emits_statements(parse_expression("a + b * 2"))
+
+    def test_pure_if(self):
+        assert not _emits_statements(parse_expression("if a then 1 else 2"))
+
+    def test_let_emits(self):
+        assert _emits_statements(parse_expression("let val x = 1 in x end"))
+
+    def test_case_emits(self):
+        assert _emits_statements(parse_expression("case x of _ => 1"))
+
+    def test_if_with_let_branch_emits(self):
+        assert _emits_statements(
+            parse_expression("if a then let val x = 1 in x end else 2")
+        )
+
+    def test_handle_emits(self):
+        assert _emits_statements(
+            parse_expression("x handle NONE => 1")
+        )
+
+    def test_tuple_of_pure(self):
+        assert not _emits_statements(parse_expression("(a, b, f c)"))
+
+
+class TestGeneratedStructure:
+    def compile(self, source):
+        report = api.check(source, "<t>")
+        return compile_program(
+            report.program, report.env, report.eliminable_sites(), "t"
+        )
+
+    def test_tail_loop_has_no_recursion(self):
+        mod = self.compile(
+            "fun loop(i, acc) = if i = 0 then acc else loop(i - 1, acc + i)"
+        )
+        body = mod.source.split("def d_loop")[1]
+        assert "while True:" in body
+        assert "d_loop(" not in body  # no recursive call remains
+
+    def test_curried_levels(self):
+        mod = self.compile("fun f a b c = a + b + c")
+        assert mod.source.count("_curry") >= 2
+
+    def test_fresh_names_never_collide(self):
+        mod = self.compile(
+            "fun f(x) = let val y = x + 1 in "
+            "(let val y = x * 2 in y end) + y end"
+        )
+        assert mod.call("f", 10) == 31  # 20 + 11
+
+    def test_generated_source_compiles_standalone(self):
+        mod = self.compile("fun f(x) = x + 1")
+        import ast as pyast
+
+        pyast.parse(mod.source)  # syntactically valid Python
+
+    def test_namespace_caching(self):
+        mod = self.compile("fun f(x) = x")
+        assert mod.load() is mod.load()

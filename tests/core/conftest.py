@@ -1,0 +1,27 @@
+"""Shared helpers for core-pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, programs
+from repro.core.ml_infer import MLInferencer
+from repro.lang.parser import parse_program
+
+
+@pytest.fixture()
+def inferencer() -> MLInferencer:
+    """A phase-1 inferencer preloaded with the prelude."""
+    inf = MLInferencer()
+    inf.infer_program(parse_program(programs.prelude_source(), "prelude.dml"))
+    return inf
+
+
+def infer(inferencer: MLInferencer, source: str):
+    """Infer a snippet; returns the resolved program."""
+    return inferencer.infer_program(parse_program(source, "<test>")).program
+
+
+def check(source: str, **kwargs):
+    """Full pipeline on a snippet (prelude included)."""
+    return api.check(source, "<test>", **kwargs)

@@ -1,0 +1,210 @@
+"""Tests for the exception extension (Section 6's first future-work
+item: "extend our system to accommodate full Standard ML which
+involves treating exceptions")."""
+
+import pytest
+
+from repro import api
+from repro.compile.pycodegen import compile_program
+from repro.eval.interp import Interpreter
+from repro.eval.values import ConV
+from repro.lang.errors import ElabError, MLTypeError, RaisedException
+from tests.core.conftest import check
+
+
+def engines(source):
+    report = api.check(source, "<test>")
+    assert report.all_proved, report.summary()
+    interp = Interpreter(report.program, report.eliminable_sites(),
+                         env=report.env)
+    module = compile_program(
+        report.program, report.env, report.eliminable_sites(), "t"
+    )
+    return report, interp, module
+
+
+class TestTyping:
+    def test_raise_has_any_type(self):
+        report = check(
+            "exception Oops "
+            "fun f(x) = if x > 0 then x else raise Oops"
+        )
+        assert report.all_proved
+
+    def test_raise_in_tuple_position(self):
+        report = check(
+            "exception Oops "
+            "fun f(x) = (x, if x > 0 then x else raise Oops)"
+        )
+        assert report.all_proved
+
+    def test_raise_requires_exn(self):
+        with pytest.raises(MLTypeError):
+            check("fun f(x) = raise 42")
+
+    def test_handle_unifies_types(self):
+        report = check(
+            "exception Oops "
+            "fun f(x) = ((10 div x) handle Oops => 0) + 1"
+        )
+        # The Div guard on the arbitrary divisor stays unproved (the
+        # run-time Div check remains), but nothing structural fails.
+        assert report.structural_ok
+
+    def test_handle_branch_type_mismatch(self):
+        with pytest.raises(MLTypeError):
+            check(
+                "exception Oops "
+                "fun f(x) = (x + 1) handle Oops => true"
+            )
+
+    def test_handler_pattern_must_be_exn(self):
+        with pytest.raises(MLTypeError):
+            check(
+                "exception Oops "
+                "fun f(x) = x handle SOME(y) => y"
+            )
+
+    def test_exception_with_argument(self):
+        report = check(
+            "exception Fail of int * int "
+            "fun f(a, b) = raise Fail(a, b)"
+        )
+        assert report.all_proved
+
+    def test_duplicate_exception_rejected(self):
+        with pytest.raises(ElabError):
+            check("exception Dup exception Dup")
+
+    def test_exceptions_do_not_break_elimination(self):
+        report = check(
+            "exception Stop "
+            "fun f(a) = (sub(a, 0) handle Stop => 0) "
+            "where f <| {n:nat | n > 0} int array(n) -> int"
+        )
+        assert report.all_proved
+        assert len(report.eliminable_sites()) == 1
+
+
+FIND = """
+exception NotFound
+exception Bad of int
+
+fun find(a, key) = let
+  fun go(i, n) =
+    if i = n then raise NotFound
+    else if sub(a, i) = key then i else go(i+1, n)
+  where go <| {n:nat | n <= size} {i:nat | i <= n} int(i) * int(n) -> int
+in
+  go(0, length a)
+end
+where find <| {size:nat} int array(size) * int -> int
+
+fun find_or(a, key, default) =
+  find(a, key) handle NotFound => default | Bad(n) => n + 1000
+where find_or <| {size:nat} int array(size) * int * int -> int
+"""
+
+
+class TestRuntime:
+    def test_caught_in_both_engines(self):
+        _, interp, module = engines(FIND)
+        arr = [5, 6, 7]
+        for runner in (interp.call, module.call):
+            assert runner("find", (arr, 6)) == 1
+            assert runner("find_or", (arr, 99, -1)) == -1
+
+    def test_uncaught_escapes(self):
+        _, interp, module = engines(FIND)
+        for runner in (interp.call, module.call):
+            with pytest.raises(RaisedException) as exc_info:
+                runner("find", ([1, 2], 99))
+            value = exc_info.value.value
+            assert value == ConV("NotFound") or value == "NotFound"
+
+    def test_unmatched_handler_reraises(self):
+        src = (
+            "exception A exception B "
+            "fun inner(x) = raise A "
+            "fun outer(x) = inner(x) handle B => 0"
+        )
+        _, interp, module = engines(src)
+        for runner in (interp.call, module.call):
+            with pytest.raises(RaisedException):
+                runner("outer", 1)
+
+    def test_nested_handlers(self):
+        src = (
+            "exception A exception B "
+            "fun f(x) = "
+            "  ((if x = 0 then raise A else raise B) handle A => 1) "
+            "  handle B => 2"
+        )
+        _, interp, module = engines(src)
+        for runner in (interp.call, module.call):
+            assert runner("f", 0) == 1
+            assert runner("f", 5) == 2
+
+    def test_exception_value_payload(self):
+        src = (
+            "exception Code of int "
+            "fun boom(x) = raise Code(x * 10) "
+            "fun catch(x) = boom(x) handle Code(n) => n + 1"
+        )
+        _, interp, module = engines(src)
+        for runner in (interp.call, module.call):
+            assert runner("catch", 4) == 41
+
+    def test_handler_does_not_catch_internal_errors(self):
+        # MatchFailure etc. are interpreter errors, not DML exceptions.
+        src = (
+            "exception E "
+            "fun partial(0) = 1 "
+            "fun f(x) = partial(x) handle E => 99"
+        )
+        from repro.lang.errors import MatchFailure
+
+        _, interp, module = engines(src)
+        for runner in (interp.call, module.call):
+            with pytest.raises(MatchFailure):
+                runner("f", 5)
+
+    def test_handle_around_loop_not_tail_optimized(self):
+        # A self-call under handle cannot become a while loop; make
+        # sure it still computes correctly (moderate depth).
+        src = (
+            "exception Stop "
+            "fun countdown(n) = "
+            "  (if n = 0 then raise Stop else countdown(n - 1)) "
+            "  handle Stop => 0"
+        )
+        _, interp, module = engines(src)
+        assert interp.call("countdown", 100) == 0
+        assert module.call("countdown", 100) == 0
+        assert "while True:" not in module.source
+
+    def test_raise_inside_handler_propagates(self):
+        src = (
+            "exception A exception B "
+            "fun f(x) = (raise A) handle A => raise B"
+        )
+        _, interp, module = engines(src)
+        for runner in (interp.call, module.call):
+            with pytest.raises(RaisedException):
+                runner("f", 0)
+
+
+class TestPrettyRoundtrip:
+    def test_exception_forms_roundtrip(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.pretty import pretty_program
+        from tests.lang.test_pretty import ast_equal
+
+        source = (
+            "exception NotFound "
+            "exception Tagged of int * bool "
+            "fun f(x) = (raise NotFound) handle NotFound => x | Tagged(a, b) => a"
+        )
+        original = parse_program(source)
+        reparsed = parse_program(pretty_program(original))
+        assert ast_equal(original, reparsed)

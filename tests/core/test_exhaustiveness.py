@@ -1,0 +1,125 @@
+"""Tests for index-aware exhaustiveness checking."""
+
+from tests.core.conftest import check
+
+
+def warnings_of(source: str) -> list[str]:
+    return check(source).warnings
+
+
+class TestDatatypeCoverage:
+    def test_missing_nil_warns(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of x::xs => x "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert len(warnings) == 1
+        assert "missing: nil" in warnings[0]
+
+    def test_missing_cons_warns(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of nil => 0 "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert any("missing: ::" in w for w in warnings)
+
+    def test_index_dead_arm_is_fine(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of x::xs => x "
+            "where f <| {n:nat | n >= 1} int list(n) -> int"
+        )
+        assert warnings == []
+
+    def test_catch_all_is_exhaustive(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of x::xs => x | _ => 0 "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert warnings == []
+
+    def test_variable_pattern_is_exhaustive(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of x::xs => x | other => 0 "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert warnings == []
+
+    def test_full_coverage_no_warning(self):
+        warnings = warnings_of(
+            "fun f(l) = case l of nil => 0 | x::xs => x "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert warnings == []
+
+    def test_unrefined_datatype(self):
+        warnings = warnings_of(
+            "fun f(o) = case o of LESS => 0 | EQUAL => 1 "
+            "where f <| order -> int"
+        )
+        assert any("missing: GREATER" in w for w in warnings)
+
+    def test_unrefined_datatype_complete(self):
+        warnings = warnings_of(
+            "fun f(o) = case o of LESS => 0 | EQUAL => 1 | GREATER => 2 "
+            "where f <| order -> int"
+        )
+        assert warnings == []
+
+    def test_guarded_constructor_coverage(self):
+        # zip-style: the mismatched arms are dead by the shared length.
+        warnings = warnings_of(
+            "fun zp(p) = case p of (nil, nil) => 0 | (x::xs, y::ys) => 1 "
+            "where zp <| {n:nat} (int list(n) * int list(n)) -> int"
+        )
+        # Tuple-of-patterns is outside the conservative analysis: no
+        # warnings, and crucially no false positive.
+        assert warnings == []
+
+
+class TestLiteralCoverage:
+    def test_int_literals_incomplete(self):
+        warnings = warnings_of(
+            "fun f(x) = case x of 0 => 1 | 1 => 2 "
+            "where f <| {i:nat} int(i) -> int"
+        )
+        assert any("exhaustive" in w for w in warnings)
+
+    def test_int_literals_complete_by_index(self):
+        warnings = warnings_of(
+            "fun f(x) = case x of 0 => 1 | 1 => 2 "
+            "where f <| {i:nat | i <= 1} int(i) -> int"
+        )
+        assert warnings == []
+
+    def test_bool_missing_false(self):
+        warnings = warnings_of(
+            "fun f(b) = case b of true => 1 "
+            "where f <| bool -> int"
+        )
+        assert any("missing: false" in w for w in warnings)
+
+    def test_bool_complete(self):
+        warnings = warnings_of(
+            "fun f(b) = case b of true => 1 | false => 0 "
+            "where f <| bool -> int"
+        )
+        assert warnings == []
+
+    def test_bool_refined_by_singleton(self):
+        # The scrutinee is bool(i > 0) under hypothesis i > 0: only
+        # the true arm is possible.
+        warnings = warnings_of(
+            "fun f(x) = if x > 0 then (case x > 0 of true => 1) else 0 "
+            "where f <| {i:int} int(i) -> int"
+        )
+        assert warnings == []
+
+
+class TestCorpusCoverage:
+    def test_corpus_clean_except_braun(self):
+        from repro import api, programs
+
+        for name in programs.available():
+            warnings = api.check_corpus(name).warnings
+            expected = 1 if name == "braun" else 0
+            assert len(warnings) == expected, (name, warnings)

@@ -1,0 +1,249 @@
+"""Unit tests for phase-1 ML type inference."""
+
+import pytest
+
+from repro.core.ml_infer import MLInferencer
+from repro.lang.errors import ElabError, MLTypeError
+from repro.lang.parser import parse_program
+from repro.types import mltype as ml
+from tests.core.conftest import infer
+
+
+def scheme_of(inferencer, source, name=None):
+    program = infer(inferencer, source)
+    for decl in reversed(program.decls):
+        if hasattr(decl, "bindings"):
+            for binding in decl.bindings:
+                if name is None or binding.name == name:
+                    return binding.ml_scheme
+        if hasattr(decl, "ml_scheme") and decl.ml_scheme is not None:
+            return decl.ml_scheme
+    raise AssertionError("no scheme found")
+
+
+class TestBasicInference:
+    def test_identity(self, inferencer):
+        scheme = scheme_of(inferencer, "fun id(x) = x")
+        assert str(scheme) == "forall 'a. 'a -> 'a"
+
+    def test_const_function(self, inferencer):
+        scheme = scheme_of(inferencer, "fun k(x, y) = x")
+        assert str(scheme) == "forall 'a 'b. 'a * 'b -> 'a"
+
+    def test_arithmetic(self, inferencer):
+        scheme = scheme_of(inferencer, "fun double(x) = x + x")
+        assert str(scheme) == "int -> int"
+
+    def test_comparison_yields_bool(self, inferencer):
+        scheme = scheme_of(inferencer, "fun pos(x) = x > 0")
+        assert str(scheme) == "int -> bool"
+
+    def test_if_branches_unify(self, inferencer):
+        scheme = scheme_of(inferencer, "fun f(b, x, y) = if b then x else y")
+        assert str(scheme) == "forall 'a. bool * 'a * 'a -> 'a"
+
+    def test_recursion(self, inferencer):
+        scheme = scheme_of(
+            inferencer, "fun fact(n) = if n = 0 then 1 else n * fact(n - 1)"
+        )
+        assert str(scheme) == "int -> int"
+
+    def test_mutual_recursion(self, inferencer):
+        program = infer(
+            inferencer,
+            "fun even(n) = if n = 0 then true else odd(n - 1) "
+            "and odd(n) = if n = 0 then false else even(n - 1)",
+        )
+        schemes = [b.ml_scheme for b in program.decls[0].bindings]
+        assert all(str(s) == "int -> bool" for s in schemes)
+
+    def test_higher_order(self, inferencer):
+        scheme = scheme_of(inferencer, "fun apply f x = f x")
+        assert str(scheme) == "forall 'a 'b. ('a -> 'b) -> 'a -> 'b"
+
+    def test_composition(self, inferencer):
+        scheme = scheme_of(inferencer, "fun comp f g x = f (g x)")
+        assert str(scheme) == (
+            "forall 'a 'b 'c. ('b -> 'c) -> ('a -> 'b) -> 'a -> 'c"
+        )
+
+    def test_builtin_array_ops(self, inferencer):
+        scheme = scheme_of(inferencer, "fun first(a) = sub(a, 0)")
+        assert str(scheme) == "forall 'a. 'a array -> 'a"
+
+    def test_list_construction(self, inferencer):
+        scheme = scheme_of(inferencer, "fun two(x, y) = x :: y :: nil")
+        assert str(scheme) == "forall 'a. 'a * 'a -> 'a list"
+
+    def test_pattern_matching(self, inferencer):
+        scheme = scheme_of(
+            inferencer,
+            "fun len(nil) = 0 | len(x::xs) = 1 + len(xs)",
+        )
+        assert str(scheme) == "forall 'a. 'a list -> int"
+
+    def test_case_expression(self, inferencer):
+        scheme = scheme_of(
+            inferencer,
+            "fun d(x) = case x of NONE => 0 | SOME(v) => v",
+        )
+        assert str(scheme) == "int option -> int"
+
+    def test_sequence_type_is_last(self, inferencer):
+        scheme = scheme_of(inferencer, "fun f(a) = (update(a, 0, 1); 42)")
+        assert str(scheme) == "int array -> int"
+
+    def test_fn_expression(self, inferencer):
+        scheme = scheme_of(inferencer, "val inc = fn x => x + 1")
+        assert str(scheme) == "int -> int"
+
+
+class TestLetPolymorphism:
+    def test_let_bound_polymorphism(self, inferencer):
+        scheme = scheme_of(
+            inferencer,
+            "fun f(u) = let fun id(x) = x in (id 1, id true) end",
+        )
+        assert str(scheme) == "forall 'a. 'a -> int * bool"
+
+    def test_lambda_bound_is_monomorphic(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f g = (g 1, g true)")
+
+    def test_value_restriction_blocks_generalization(self, inferencer):
+        # `id id` is an application, not a value, so it stays mono.
+        with pytest.raises(MLTypeError):
+            infer(
+                inferencer,
+                "fun id(x) = x "
+                "val once = id id "
+                "val a = (once 1, once true)",
+            )
+
+    def test_value_restriction_allows_fn(self, inferencer):
+        infer(
+            inferencer,
+            "val id2 = fn x => x "
+            "fun use(u) = (id2 1, id2 true)",
+        )
+
+    def test_no_overgeneralization_of_outer_param(self, inferencer):
+        # f's x must not generalize inside the let.
+        with pytest.raises(MLTypeError):
+            infer(
+                inferencer,
+                "fun f(x) = let val g = fn y => x in (g 1 + 1, g 2 andalso true) end",
+            )
+
+
+class TestErrors:
+    def test_unbound_variable(self, inferencer):
+        with pytest.raises(MLTypeError, match="unbound"):
+            infer(inferencer, "fun f(x) = zzz")
+
+    def test_type_mismatch(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f(x) = 1 + true")
+
+    def test_occurs(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f(x) = x x")
+
+    def test_if_on_non_bool(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f(x) = if x + 1 then 1 else 2")
+
+    def test_branch_mismatch(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f(b) = if b then 1 else true")
+
+    def test_clause_arity_mismatch(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f x = 0 | f x y = 1")
+
+    def test_unknown_constructor_pattern(self, inferencer):
+        with pytest.raises((MLTypeError, ElabError)):
+            infer(inferencer, "fun f(FOO x) = x")
+
+    def test_constructor_arity_in_pattern(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(inferencer, "fun f(SOME) = 0")
+
+    def test_where_annotation_must_be_consistent(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(
+                inferencer,
+                "fun f(x) = x + 1 where f <| bool -> bool",
+            )
+
+    def test_where_annotation_adopted(self, inferencer):
+        scheme = scheme_of(
+            inferencer,
+            "fun f(x) = x where f <| int -> int",
+        )
+        assert str(scheme) == "int -> int"
+
+
+class TestDeclarations:
+    def test_duplicate_datatype(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(inferencer, "datatype order = FOO")
+
+    def test_duplicate_constructor(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(inferencer, "datatype thing = LESS")
+
+    def test_typeref_requires_datatype(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(
+                inferencer,
+                "typeref 'a array of nat with foo <| 'a array(0)",
+            )
+
+    def test_typeref_rejects_wrong_erasure(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(
+                inferencer,
+                "datatype box = BOX of int "
+                "typeref box of nat with BOX <| {n:nat} bool -> box(n)",
+            )
+
+    def test_typeref_requires_all_constructors(self, inferencer):
+        with pytest.raises(ElabError, match="misses"):
+            infer(
+                inferencer,
+                "datatype pair2 = TWO of int | ONE of int "
+                "typeref pair2 of nat with TWO <| {n:nat} int -> pair2(n)",
+            )
+
+    def test_typeref_double_refinement_rejected(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(
+                inferencer,
+                "typeref 'a list of nat with nil <| 'a list(0) "
+                "| :: <| {n:nat} 'a * 'a list(n) -> 'a list(n+1)",
+            )
+
+    def test_constructor_shadowing_rejected(self, inferencer):
+        with pytest.raises(ElabError):
+            infer(inferencer, "fun SOME(x) = x")
+
+    def test_let_only_allows_val_fun(self, inferencer):
+        with pytest.raises(MLTypeError):
+            infer(
+                inferencer,
+                "fun f(x) = let datatype t = T in 0 end",
+            )
+
+
+class TestAnnotationNodes:
+    def test_ml_types_recorded(self, inferencer):
+        program = infer(inferencer, "fun f(x) = x + 1")
+        body = program.decls[0].bindings[0].clauses[0].body
+        assert str(body.ml_type) == "int"
+
+    def test_nested_nodes_annotated(self, inferencer):
+        program = infer(inferencer, "fun f(b) = if b then (1, true) else (2, false)")
+        body = program.decls[0].bindings[0].clauses[0].body
+        assert str(body.ml_type) == "int * bool"
+        assert str(body.cond.ml_type) == "bool"

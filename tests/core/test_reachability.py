@@ -1,0 +1,90 @@
+"""Tests for index-aware unreachable-branch detection."""
+
+from tests.core.conftest import check
+
+
+class TestUnreachableCaseClauses:
+    def test_nil_clause_dead_for_nonempty_list(self):
+        report = check(
+            "fun f(l) = case l of nil => 0 | x::xs => x "
+            "where f <| {n:nat | n >= 1} int list(n) -> int"
+        )
+        assert report.all_proved
+        assert len(report.warnings) == 1
+        assert "unreachable case clause" in report.warnings[0]
+
+    def test_cons_clause_dead_for_empty_list(self):
+        report = check(
+            "fun f(l) = case l of nil => 0 | x::xs => x "
+            "where f <| int list(0) -> int"
+        )
+        assert any("case clause" in w for w in report.warnings)
+
+    def test_general_list_no_warnings(self):
+        report = check(
+            "fun f(l) = case l of nil => 0 | x::xs => x "
+            "where f <| {n:nat} int list(n) -> int"
+        )
+        assert report.warnings == []
+
+    def test_int_pattern_unreachable(self):
+        report = check(
+            "fun f(x) = case x of 0 => 1 | n => n "
+            "where f <| {i:int | i > 5} int(i) -> int"
+        )
+        assert any("case clause" in w for w in report.warnings)
+
+
+class TestUnreachableIfBranches:
+    def test_always_true_condition(self):
+        report = check(
+            "fun f(x) = if x >= 0 then x else 0 - x "
+            "where f <| {i:nat} int(i) -> int"
+        )
+        assert len(report.warnings) == 1
+        assert "else branch" in report.warnings[0]
+
+    def test_always_false_condition(self):
+        report = check(
+            "fun f(x) = if x < 0 then 0 - x else x "
+            "where f <| {i:nat} int(i) -> int"
+        )
+        assert len(report.warnings) == 1
+        assert "then branch" in report.warnings[0]
+
+    def test_live_branches(self):
+        report = check(
+            "fun f(x) = if x < 10 then x else 10 "
+            "where f <| {i:nat} int(i) -> int"
+        )
+        assert report.warnings == []
+
+    def test_nested_contradiction(self):
+        # Inside the then branch we know x < 5, so x > 7 is absurd.
+        report = check(
+            "fun f(x) = if x < 5 then (if x > 7 then 1 else 2) else 3 "
+            "where f <| {i:int} int(i) -> int"
+        )
+        assert any("then branch" in w for w in report.warnings)
+
+    def test_warnings_carry_positions(self):
+        report = check(
+            "fun f(x) = if x >= 0 then x else 0 - x "
+            "where f <| {i:nat} int(i) -> int"
+        )
+        assert report.warnings[0].startswith("<test>:")
+
+
+class TestCorpusClean:
+    def test_corpus_dead_branches(self):
+        from repro import api, programs
+
+        for name in programs.available():
+            warnings = api.check_corpus(name).warnings
+            if name == "braun":
+                # The LEAF clause of get is intentionally dead: the
+                # index guard i < n forces n >= 1 at every match.
+                assert len(warnings) == 1
+                assert "unreachable case clause" in warnings[0]
+            else:
+                assert warnings == [], name

@@ -1,0 +1,143 @@
+"""Property-based soundness harness for check elimination.
+
+The central safety claim: if the checker eliminates a site's run-time
+check, no execution can take that access out of bounds.  We test it by
+*generating* random array-walking programs in two populations:
+
+* **safe** programs, whose loop annotations genuinely bound the index —
+  these must type-check, and running them with checks eliminated must
+  never trip an (instrumented) out-of-bounds access;
+* **unsafe** programs, seeded with an off-by-one or a missing guard —
+  the checker must refuse to eliminate the faulty site, and the kept
+  run-time check must catch the violation on some input.
+
+The unsafe direction uses the interpreter's checked mode as the oracle:
+if a checked run raises Subscript, an unchecked compilation of the same
+site would have read out of bounds, so eliminating it would have been
+unsound — hence the checker must not have.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.eval.interp import Interpreter
+from repro.lang.errors import BoundsError
+
+
+def _run_checked(source: str, entry: str, *args):
+    report = api.check(source, "<gen>")
+    interp = Interpreter(report.program, set(), env=report.env)
+    return report, interp.call(entry, *args)
+
+
+# -- safe population ---------------------------------------------------------
+#
+# Template: walk a[lo .. n-hi_off) with stride 1, guarded by an exact
+# annotation.  Vary the offsets and the loop direction.
+
+
+@st.composite
+def safe_programs(draw):
+    start = draw(st.integers(0, 3))
+    slack = draw(st.integers(0, 3))
+    # sum a[i + k] for i in [0, n - start - slack), offset k <= start.
+    offset = draw(st.integers(0, start))
+    source = f"""
+fun walk(a) = let
+  fun go(i, stop, acc) =
+    if i < stop then go(i+1, stop, acc + sub(a, i + {offset}))
+    else acc
+  where go <| {{stop:int | stop + {offset} <= n}} {{i:nat}}
+              int(i) * int(stop) * int -> int
+in
+  go(0, length a - {start + slack}, 0)
+end
+where walk <| {{n:nat}} int array(n) -> int
+"""
+    return source, offset, start + slack
+
+
+@given(safe_programs(), st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_safe_programs_check_and_run_unchecked(program, size):
+    source, offset, trim = program
+    report = api.check(source, "<gen>")
+    assert report.all_proved, report.summary()
+    data = list(range(100, 100 + size))
+    expected = sum(
+        data[i + offset] for i in range(max(0, size - trim))
+    )
+    # Run with every check ELIMINATED: must agree with the reference.
+    interp = Interpreter(report.program, report.eliminable_sites(),
+                         env=report.env)
+    assert interp.call("walk", data) == expected
+    assert interp.stats.bound_checks_performed == 0
+
+
+# -- unsafe population -------------------------------------------------------
+
+
+@st.composite
+def unsafe_programs(draw):
+    # Deliberate off-by-one: loop runs i <= stop (one too far), or the
+    # offset exceeds what the annotation licenses.
+    bug = draw(st.sampled_from(["le_bound", "offset"]))
+    if bug == "le_bound":
+        source = """
+fun walk(a) = let
+  fun go(i, stop, acc) =
+    if i <= stop then go(i+1, stop, acc + sub(a, i))
+    else acc
+  where go <| {stop:int | stop <= n} {i:nat} int(i) * int(stop) * int -> int
+in
+  go(0, length a, 0)
+end
+where walk <| {n:nat} int array(n) -> int
+"""
+    else:
+        source = """
+fun walk(a) = let
+  fun go(i, stop, acc) =
+    if i < stop then go(i+1, stop, acc + sub(a, i + 1))
+    else acc
+  where go <| {stop:int | stop <= n} {i:nat} int(i) * int(stop) * int -> int
+in
+  go(0, length a, 0)
+end
+where walk <| {n:nat} int array(n) -> int
+"""
+    return source
+
+
+@given(unsafe_programs(), st.integers(1, 10))
+@settings(max_examples=20, deadline=None)
+def test_unsafe_programs_keep_their_checks(program, size):
+    report = api.check(program, "<gen>")
+    # The faulty access must not be eliminated...
+    assert not report.all_proved
+    assert report.eliminable_sites() == set()
+    # ...and the kept check fires at run time on a real input.
+    interp = Interpreter(report.program, report.eliminable_sites(),
+                         env=report.env)
+    with pytest.raises(BoundsError):
+        interp.call("walk", list(range(size)))
+
+
+def test_forced_elimination_of_unsafe_site_misbehaves():
+    """Demonstrate *why* fail-closed matters: overriding the checker's
+    decision on an off-by-one program silently reads a stale cell
+    instead of raising (the unsafe-memory analogue)."""
+    source = """
+fun peek(a) = sub(a, length a)
+where peek <| {n:nat} int array(n) -> int
+"""
+    report = api.check(source, "<gen>")
+    assert not report.all_proved
+    forced = set(report.sites)
+    interp = Interpreter(report.program, forced, env=report.env)
+    with pytest.raises(IndexError):  # raw Python error, not Subscript
+        interp.call("peek", [1, 2, 3])

@@ -1,0 +1,184 @@
+"""Unit tests for variance analysis, surface-type conversion, and
+ML-type lifting."""
+
+import pytest
+
+from repro import programs
+from repro.core.env import GlobalEnv
+from repro.core.lift import lift_scheme, lift_type
+from repro.core.ml_infer import MLInferencer
+from repro.core.tyconv import convert_type, scheme_of
+from repro.indices import terms
+from repro.indices.sorts import NAT
+from repro.lang.errors import ElabError, SortError
+from repro.lang.parser import parse_program, parse_type
+from repro.types import mltype as ml
+from repro.types import types as dt
+
+
+@pytest.fixture()
+def env() -> GlobalEnv:
+    inf = MLInferencer()
+    inf.infer_program(parse_program(programs.prelude_source(), "prelude"))
+    return inf.env
+
+
+def declare(env_src: str) -> GlobalEnv:
+    inf = MLInferencer()
+    inf.infer_program(parse_program(programs.prelude_source(), "prelude"))
+    inf.infer_program(parse_program(env_src, "<decl>"))
+    return inf.env
+
+
+class TestVariance:
+    def test_list_is_covariant(self, env):
+        assert env.family("list").variances == ["co"]
+
+    def test_option_is_covariant(self, env):
+        assert env.family("option").variances == ["co"]
+
+    def test_array_is_invariant(self, env):
+        assert env.family("array").variance(0) == "invariant"
+
+    def test_unused_parameter_defaults_covariant(self):
+        env = declare("datatype 'a phantom = P")
+        assert env.family("phantom").variances == ["co"]
+
+    def test_contravariant_parameter(self):
+        env = declare("datatype 'a sink = SINK of 'a -> bool")
+        assert env.family("sink").variances == ["contra"]
+
+    def test_mixed_is_invariant(self):
+        env = declare("datatype 'a both = BOTH of 'a * ('a -> bool)")
+        assert env.family("both").variances == ["invariant"]
+
+    def test_nested_through_covariant_family(self):
+        env = declare("datatype 'a wrap = W of 'a option list")
+        assert env.family("wrap").variances == ["co"]
+
+    def test_nested_through_contravariant_position(self):
+        env = declare("datatype 'a f = F of 'a list -> bool")
+        assert env.family("f").variances == ["contra"]
+
+    def test_double_negation_is_covariant(self):
+        env = declare("datatype 'a cc = CC of ('a -> bool) -> bool")
+        assert env.family("cc").variances == ["co"]
+
+    def test_through_invariant_array(self):
+        env = declare("datatype 'a box = BX of 'a array")
+        assert env.family("box").variances == ["invariant"]
+
+    def test_recursive_datatype(self):
+        env = declare(
+            "datatype 'a tree = LEAF | NODE of 'a tree * 'a * 'a tree"
+        )
+        assert env.family("tree").variances == ["co"]
+
+    def test_two_parameters_independent(self):
+        env = declare("datatype ('a, 'b) fnlike = FN of 'a -> 'b")
+        assert env.family("fnlike").variances == ["contra", "co"]
+
+
+class TestConvertType:
+    def convert(self, env, text, scope=frozenset()):
+        return convert_type(parse_type(text), env, set(scope))
+
+    def test_indexed_base(self, env):
+        ty = self.convert(env, "int(n)", {"n"})
+        assert ty == dt.int_of(terms.IVar("n"))
+
+    def test_unindexed_wraps_existentially(self, env):
+        ty = self.convert(env, "int")
+        assert isinstance(ty, dt.DSig)
+        assert isinstance(ty.body, dt.DBase)
+
+    def test_unindexed_array_gets_nat_sort(self, env):
+        ty = self.convert(env, "bool array")
+        assert isinstance(ty, dt.DSig)
+        assert ty.binders[0][1] == NAT
+
+    def test_unit(self, env):
+        assert self.convert(env, "unit") == dt.UNIT
+
+    def test_order_unindexed_family(self, env):
+        ty = self.convert(env, "order")
+        assert ty == dt.DBase("order", (), ())
+
+    def test_pi_guard_default_true(self, env):
+        ty = self.convert(env, "{n:nat} int(n)")
+        assert isinstance(ty, dt.DPi)
+        assert ty.guard == terms.TRUE
+
+    def test_unbound_index_var_rejected(self, env):
+        with pytest.raises(SortError):
+            self.convert(env, "int(zzz)")
+
+    def test_index_var_in_scope_ok(self, env):
+        self.convert(env, "int(zzz)", {"zzz"})
+
+    def test_unknown_tycon(self, env):
+        with pytest.raises(ElabError):
+            self.convert(env, "gremlin")
+
+    def test_tyarg_arity(self, env):
+        with pytest.raises(ElabError):
+            self.convert(env, "(int, bool) list")
+
+    def test_iarg_arity(self, env):
+        with pytest.raises(ElabError):
+            self.convert(env, "{n:nat} int array(n, n)", {"n"})
+
+    def test_abbreviation_expands(self):
+        env = declare("type three = int * int * int")
+        ty = self.convert(env, "three")
+        assert isinstance(ty, dt.DTuple) and len(ty.items) == 3
+
+    def test_abbreviation_takes_no_args(self):
+        env = declare("type t0 = int")
+        with pytest.raises(ElabError):
+            self.convert(env, "int t0")
+
+    def test_scheme_of_collects_tyvars(self, env):
+        ty = self.convert(env, "'a * 'b -> 'a")
+        scheme = scheme_of(ty)
+        assert scheme.tyvars == ("'a", "'b")
+
+
+class TestLift:
+    def test_int(self, env):
+        lifted = lift_type(ml.INT, env)
+        assert isinstance(lifted, dt.DSig)
+        assert isinstance(lifted.body, dt.DBase)
+        assert lifted.body.name == "int"
+
+    def test_unindexed_family_stays_bare(self, env):
+        lifted = lift_type(ml.MLCon("order"), env)
+        assert lifted == dt.DBase("order", (), ())
+
+    def test_arrow_structure_preserved(self, env):
+        lifted = lift_type(ml.MLArrow(ml.INT, ml.BOOL), env)
+        assert isinstance(lifted, dt.DArrow)
+        assert isinstance(lifted.dom, dt.DSig)
+        assert isinstance(lifted.cod, dt.DSig)
+
+    def test_list_wrapped_with_nat(self, env):
+        lifted = lift_type(ml.MLCon("list", (ml.INT,)), env)
+        assert isinstance(lifted, dt.DSig)
+        assert lifted.binders[0][1] == NAT
+
+    def test_rigid_becomes_tyvar(self, env):
+        assert lift_type(ml.MLRigid("'a"), env) == dt.DTyVar("'a")
+
+    def test_scheme(self, env):
+        scheme = ml.MLScheme(("'a",), ml.MLArrow(ml.MLRigid("'a"), ml.INT))
+        lifted = lift_scheme(scheme, env)
+        assert lifted.tyvars == ("'a",)
+
+    def test_lift_erases_back(self, env):
+        from repro.types import erasure
+
+        original = ml.MLArrow(
+            ml.MLTuple((ml.INT, ml.MLCon("list", (ml.BOOL,)))), ml.UNIT
+        )
+        assert erasure.ml_equal(erasure.erase(lift_type(original, env)),
+                                original)

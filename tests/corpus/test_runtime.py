@@ -1,0 +1,311 @@
+"""Runtime correctness of the corpus: interpreter and compiled code
+against Python reference implementations, with and without checks."""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.compile import support
+from repro.compile.pycodegen import compile_program
+from repro.eval.interp import Interpreter
+from repro.eval.values import from_pylist, to_pylist
+
+RNG_SEED = 20260704
+
+_CACHE: dict[str, tuple] = {}
+
+
+def engines(name: str):
+    """(report, interp-with-elim, compiled-with-elim, compiled-checked)."""
+    if name not in _CACHE:
+        report = api.check_corpus(name)
+        assert report.all_proved
+        sites = report.eliminable_sites()
+        interp = Interpreter(report.program, sites, env=report.env)
+        fast = compile_program(report.program, report.env, sites, name)
+        slow = compile_program(report.program, report.env, set(), name)
+        _CACHE[name] = (report, interp, fast, slow)
+    return _CACHE[name]
+
+
+class TestSorts:
+    @pytest.mark.parametrize("size", [0, 1, 2, 10, 64])
+    def test_bubblesort(self, size):
+        _, interp, fast, slow = engines("bubblesort")
+        rng = random.Random(RNG_SEED + size)
+        data = [rng.randrange(1000) for _ in range(size)]
+        for runner in (interp.call, fast.call, slow.call):
+            arr = list(data)
+            runner("bubble_sort", arr)
+            assert arr == sorted(data)
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 50, 300])
+    def test_quicksort(self, size):
+        _, interp, fast, slow = engines("quicksort")
+        rng = random.Random(RNG_SEED + size)
+        data = [rng.randrange(1000) for _ in range(size)]
+        for runner in (interp.call, fast.call, slow.call):
+            arr = list(data)
+            runner("quicksort", arr)
+            assert arr == sorted(data)
+
+    def test_quicksort_already_sorted(self):
+        _, interp, fast, _ = engines("quicksort")
+        arr = list(range(50))
+        fast.call("quicksort", arr)
+        assert arr == list(range(50))
+
+    def test_quicksort_all_equal(self):
+        _, _, fast, _ = engines("quicksort")
+        arr = [7] * 20
+        fast.call("quicksort", arr)
+        assert arr == [7] * 20
+
+
+class TestSearchAndCopy:
+    def test_bsearch_hits_and_misses(self):
+        _, interp, fast, slow = engines("bsearch")
+        rng = random.Random(RNG_SEED)
+        arr = sorted(rng.sample(range(10_000), 256))
+        keys = [rng.randrange(10_000) for _ in range(128)] + arr[:8]
+        expected = sum(1 for k in keys if k in set(arr))
+        for runner in (interp.call, fast.call, slow.call):
+            assert runner("bsearch_all", (arr, keys)) == expected
+
+    def test_bsearch_empty_array(self):
+        _, interp, fast, _ = engines("bsearch")
+        assert fast.call("bsearch_all", ([], [1, 2, 3])) == 0
+        assert interp.call("bsearch_all", ([], [1, 2, 3])) == 0
+
+    def test_bcopy_variants(self):
+        _, interp, fast, slow = engines("bcopy")
+        rng = random.Random(RNG_SEED)
+        src = [rng.randrange(256) for _ in range(123)]  # odd length: mod path
+        for entry in ("bcopy", "bcopy4"):
+            for runner in (interp.call, fast.call, slow.call):
+                dst = [0] * 200
+                runner(entry, (src, dst))
+                assert dst[:123] == src
+                assert dst[123:] == [0] * 77
+
+    def test_bcopy4_multiple_of_four(self):
+        _, _, fast, _ = engines("bcopy")
+        src = list(range(16))
+        dst = [0] * 16
+        fast.call("bcopy4", (src, dst))
+        assert dst == src
+
+    def test_bcopy_times(self):
+        _, interp, fast, _ = engines("bcopy")
+        src = [5, 6, 7]
+        dst = [0, 0, 0]
+        fast.call("bcopy_times", (src, dst, 3))
+        assert dst == src
+
+
+class TestMatricesAndPuzzles:
+    def test_matmult_reference(self):
+        _, interp, fast, slow = engines("matmult")
+        rng = random.Random(RNG_SEED)
+        n, m, p = 5, 4, 6
+        a = [[rng.randrange(10) for _ in range(m)] for _ in range(n)]
+        b = [[rng.randrange(10) for _ in range(p)] for _ in range(m)]
+        ref = [
+            [sum(a[i][k] * b[k][j] for k in range(m)) for j in range(p)]
+            for i in range(n)
+        ]
+        for runner in (interp.call, fast.call, slow.call):
+            c = [[0] * p for _ in range(n)]
+            runner("matmult", (a, b, c))
+            assert c == ref
+
+    def test_matmult_identity(self):
+        _, _, fast, _ = engines("matmult")
+        eye = [[1 if i == j else 0 for j in range(3)] for i in range(3)]
+        b = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        c = [[0] * 3 for _ in range(3)]
+        fast.call("matmult", (eye, b, c))
+        assert c == b
+
+    @pytest.mark.parametrize("n,solutions", [(4, 2), (5, 10), (6, 4), (7, 40), (8, 92)])
+    def test_queens_counts(self, n, solutions):
+        _, interp, fast, slow = engines("queens")
+        assert fast.call("queens", [0] * n) == solutions
+        assert slow.call("queens", [0] * n) == solutions
+        if n <= 6:
+            assert interp.call("queens", [0] * n) == solutions
+
+    @pytest.mark.parametrize("disks", [1, 2, 5, 10])
+    def test_hanoi_moves_whole_tower(self, disks):
+        _, interp, fast, slow = engines("hanoi")
+        for runner in (interp.call, fast.call, slow.call):
+            poles = [[0] * disks for _ in range(3)]
+            poles[0] = list(range(disks, 0, -1))
+            tops = [disks, 0, 0]
+            runner("hanoi", (poles, tops, disks))
+            assert tops == [0, disks, 0]
+            assert poles[1] == list(range(disks, 0, -1))
+
+
+class TestListsAndStrings:
+    def test_reverse_append_filter_zip(self):
+        _, interp, fast, slow = engines("reverse")
+        data = [1, 2, 3, 4, 5]
+        assert to_pylist(interp.call("reverse", from_pylist(data))) == data[::-1]
+        assert support.to_pylist(
+            fast.call("reverse", support.from_pylist(data))
+        ) == data[::-1]
+        assert to_pylist(
+            interp.call("append", (from_pylist([1, 2]), from_pylist([3])))
+        ) == [1, 2, 3]
+        zipped = interp.call("zip", (from_pylist([1, 2]), from_pylist([3, 4])))
+        assert to_pylist(zipped) == [(1, 3), (2, 4)]
+
+    def test_listaccess_sums(self):
+        _, interp, fast, slow = engines("listaccess")
+        data = list(range(100, 130))
+        expected = sum(data[:16])
+        assert interp.call("sum16", from_pylist(data)) == expected
+        assert fast.call("sum16", support.from_pylist(data)) == expected
+        assert slow.call("sum16", support.from_pylist(data)) == expected
+        assert interp.call("access_times", (from_pylist(data), 5)) == 5 * expected
+
+    def test_head_sum(self):
+        _, interp, fast, _ = engines("listaccess")
+        data = list(range(20))
+        assert interp.call("head_sum", (from_pylist(data), 7, 0)) == sum(range(7))
+        assert fast.call("head_sum", (support.from_pylist(data), 7, 0)) == sum(range(7))
+
+    def test_mergesort(self):
+        _, interp, fast, slow = engines("mergesort")
+        rng = random.Random(RNG_SEED)
+        for size in (0, 1, 2, 7, 40):
+            data = [rng.randrange(100) for _ in range(size)]
+            got = to_pylist(interp.call("msort", from_pylist(data)))
+            assert got == sorted(data)
+            got_c = support.to_pylist(
+                fast.call("msort", support.from_pylist(data))
+            )
+            assert got_c == sorted(data)
+
+    def test_mergesort_split_balance(self):
+        _, interp, _, _ = engines("mergesort")
+        halves = interp.call("split", from_pylist(list(range(9))))
+        a, b = halves
+        assert abs(len(to_pylist(a)) - len(to_pylist(b))) <= 1
+        assert sorted(to_pylist(a) + to_pylist(b)) == list(range(9))
+
+    def test_braun_trees(self):
+        _, interp, fast, slow = engines("braun")
+        for n in (0, 1, 2, 7, 31, 64):
+            for runner in (fast.call, slow.call):
+                tree = runner("build", n)
+                assert runner("size", tree) == n
+                got = [runner("get", (i, tree)) for i in range(n)]
+                assert sorted(got) == list(range(n))
+        tree = interp.call("build", 15)
+        assert interp.call("size", tree) == 15
+        values = sorted(interp.call("get", (i, tree)) for i in range(15))
+        assert values == list(range(15))
+
+    def test_braun_get_is_check_free(self):
+        _, interp, _, _ = engines("braun")
+        interp.stats.reset()
+        tree = interp.call("build", 20)
+        for i in range(20):
+            interp.call("get", (i, tree))
+        # get uses no array/list primitives at all; its safety is the
+        # match structure itself (the LEAF arm is provably dead).
+        assert interp.stats.bound_checks_performed == 0
+        assert interp.stats.tag_checks_performed == 0
+
+    def test_listlib(self):
+        _, interp, fast, slow = engines("listlib")
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        l = from_pylist(data)
+        assert interp.call("len", l) == 8
+        assert to_pylist(interp.call("take", (l, 3))) == [3, 1, 4]
+        assert to_pylist(interp.call("drop", (l, 5))) == [9, 2, 6]
+        assert interp.call("last", l) == 6
+        assert interp.call("getnth", (l, 4)) == 5
+        doubled = interp.apply(
+            interp.apply(interp.call("map"), interp.globals.lookup("~")),
+            l,
+        )
+        assert to_pylist(doubled) == [-x for x in data]
+        pairs = interp.call("sum2", (from_pylist([1, 2]), from_pylist([10, 20])))
+        assert to_pylist(pairs) == [11, 22]
+        # compiled backend
+        cl = support.from_pylist(data)
+        assert fast.call("len", cl) == 8
+        assert support.to_pylist(fast.call("take", (cl, 3))) == [3, 1, 4]
+        assert fast.call("last", cl) == 6
+        nested = support.from_pylist(
+            [support.from_pylist([1, 2]), support.from_pylist([3])]
+        )
+        assert support.to_pylist(fast.call("concat", nested)) == [1, 2, 3]
+
+    def test_listlib_is_tag_check_free(self):
+        _, interp, _, _ = engines("listlib")
+        interp.stats.reset()
+        l = from_pylist(list(range(30)))
+        interp.call("take", (l, 20))
+        interp.call("last", l)
+        interp.call("getnth", (l, 29))
+        assert interp.stats.tag_checks_performed == 0
+        assert interp.stats.tag_checks_eliminated > 0
+
+    def _py_find(self, text, pattern):
+        for i in range(len(text) - len(pattern) + 1):
+            if text[i:i + len(pattern)] == pattern:
+                return i
+        return -1
+
+    def test_kmp_systematic(self):
+        _, interp, fast, slow = engines("kmp")
+        rng = random.Random(RNG_SEED)
+        for _ in range(60):
+            text = [rng.randrange(3) for _ in range(rng.randrange(1, 60))]
+            pattern = [rng.randrange(3) for _ in range(rng.randrange(1, 6))]
+            expected = self._py_find(text, pattern)
+            assert fast.call("kmpMatch", (text, pattern)) == expected
+            assert slow.call("kmpMatch", (text, pattern)) == expected
+
+    def test_kmp_interp_agrees(self):
+        _, interp, fast, _ = engines("kmp")
+        text = [0, 1, 0, 1, 1, 0, 1, 0, 1]
+        pattern = [0, 1, 0]
+        assert interp.call("kmpMatch", (text, pattern)) == 0
+
+    def test_kmp_edge_cases(self):
+        _, _, fast, _ = engines("kmp")
+        assert fast.call("kmpMatch", ([1, 2, 3], [9])) == -1
+        assert fast.call("kmpMatch", ([1, 2, 3], [3])) == 2
+        assert fast.call("kmpMatch", ([], [1])) == -1
+        assert fast.call("kmpMatch", ([7, 7, 7, 8], [7, 8])) == 2
+
+
+class TestCheckAccounting:
+    def test_dotprod_counts(self):
+        _, interp, _, _ = engines("dotprod")
+        interp.stats.reset()
+        v = list(range(10))
+        interp.call("dotprod", (v, v))
+        assert interp.stats.bound_checks_eliminated == 20  # 2 per iteration
+        assert interp.stats.bound_checks_performed == 0
+
+    def test_kmp_performs_only_subck(self):
+        _, interp, _, _ = engines("kmp")
+        interp.stats.reset()
+        interp.call("kmpMatch", ([0, 1, 0, 0, 1], [0, 1]))
+        assert interp.stats.bound_checks_performed > 0  # the subCK accesses
+        assert interp.stats.bound_checks_eliminated > 0
+
+    def test_checked_build_counts_everything(self):
+        report = api.check_corpus("dotprod")
+        interp = Interpreter(report.program, set(), env=report.env)
+        v = list(range(4))
+        interp.call("dotprod", (v, v))
+        assert interp.stats.bound_checks_performed == 8
+        assert interp.stats.bound_checks_eliminated == 0

@@ -1,0 +1,228 @@
+"""Unit tests for the interpreter."""
+
+import pytest
+
+from repro import api
+from repro.eval.interp import Interpreter
+from repro.eval.runtime import RuntimeStats
+from repro.eval.values import ConV, from_pylist, render, to_pylist
+from repro.lang.errors import BoundsError, EvalError, MatchFailure, TagError
+
+
+def make(source: str, eliminate: bool = True):
+    report = api.check(source, "<test>")
+    sites = report.eliminable_sites() if eliminate else set()
+    return report, Interpreter(report.program, sites, env=report.env)
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        _, interp = make("fun f(x) = (x + 3) * 2 - x div 2")
+        assert interp.call("f", 10) == 21
+
+    def test_sml_division_semantics(self):
+        _, interp = make("fun f(a, b) = (a div b, a mod b)")
+        assert interp.call("f", (-7, 2)) == (-4, 1)
+        assert interp.call("f", (7, -2)) == (-4, -1)
+
+    def test_division_by_zero(self):
+        _, interp = make("fun f(x) = x div 0")
+        with pytest.raises(EvalError):
+            interp.call("f", 1)
+
+    def test_booleans_and_comparisons(self):
+        _, interp = make("fun f(a, b) = (a < b, a = b, not (a > b))")
+        assert interp.call("f", (1, 2)) == (True, False, True)
+
+    def test_andalso_short_circuits(self):
+        # The right operand would divide by zero if evaluated.
+        _, interp = make("fun f(x) = x > 0 andalso 10 div x > 0")
+        assert interp.call("f", 0) is False
+
+    def test_orelse_short_circuits(self):
+        _, interp = make("fun f(x) = x = 0 orelse 10 div x > 0")
+        assert interp.call("f", 0) is True
+
+    def test_unary_ops(self):
+        _, interp = make("fun f(x) = (~x, abs(x), min(x, 0), max(x, 0))")
+        assert interp.call("f", -5) == (5, 5, -5, 0)
+
+    def test_compare_builtin(self):
+        _, interp = make("fun f(a, b) = compare(a, b)")
+        assert interp.call("f", (1, 2)) == ConV("LESS")
+        assert interp.call("f", (2, 2)) == ConV("EQUAL")
+        assert interp.call("f", (3, 2)) == ConV("GREATER")
+
+    def test_let_and_shadowing(self):
+        _, interp = make(
+            "fun f(x) = let val y = x + 1 val y = y * 2 in y end"
+        )
+        assert interp.call("f", 3) == 8
+
+    def test_sequence(self):
+        _, interp = make("fun f(a) = (update(a, 0, 9); sub(a, 0))",
+                         eliminate=False)
+        assert interp.call("f", [1, 2]) == 9
+
+    def test_unit(self):
+        _, interp = make("fun f(x) = ()")
+        assert interp.call("f", 0) == ()
+
+
+class TestFunctions:
+    def test_curried_application(self):
+        _, interp = make("fun add x y = x + y")
+        assert interp.call("add", 2, 3) == 5
+
+    def test_partial_application_is_a_value(self):
+        _, interp = make(
+            "fun add x y = x + y "
+            "fun apply6(f) = f 6"
+        )
+        add2 = interp.call("add", 2)
+        assert interp.apply(add2, 40) == 42
+
+    def test_fn_closure_captures(self):
+        _, interp = make("fun f(x) = let val g = fn y => x + y in g 10 end")
+        assert interp.call("f", 5) == 15
+
+    def test_multi_clause_dispatch(self):
+        _, interp = make("fun f(0) = 100 | f(1) = 200 | f(n) = n")
+        assert interp.call("f", 0) == 100
+        assert interp.call("f", 1) == 200
+        assert interp.call("f", 7) == 7
+
+    def test_match_failure(self):
+        _, interp = make("fun f(0) = 1")
+        with pytest.raises(MatchFailure):
+            interp.call("f", 5)
+
+    def test_tail_recursion_is_constant_stack(self):
+        _, interp = make(
+            "fun loop(i, acc) = if i = 0 then acc else loop(i - 1, acc + i)"
+        )
+        n = 200_000
+        assert interp.call("loop", (n, 0)) == n * (n + 1) // 2
+
+    def test_mutual_recursion(self):
+        _, interp = make(
+            "fun even(n) = if n = 0 then true else odd(n - 1) "
+            "and odd(n) = if n = 0 then false else even(n - 1)"
+        )
+        assert interp.call("even", 10) is True
+        assert interp.call("odd", 10) is False
+
+    def test_higher_order(self):
+        _, interp = make(
+            "fun map f nil = nil | map f (x::xs) = f x :: map f xs"
+        )
+        doubled = interp.apply(
+            interp.apply(interp.call("map"), _inc_fn(interp)),
+            from_pylist([1, 2, 3]),
+        )
+        assert to_pylist(doubled) == [2, 3, 4]
+
+
+def _inc_fn(interp):
+    report, inner = make("fun inc(x) = x + 1")
+    return inner.globals.lookup("inc")
+
+
+class TestDatatypes:
+    def test_construction_and_case(self):
+        _, interp = make(
+            "datatype shape = CIRCLE of int | SQUARE of int | POINT "
+            "fun area(s) = case s of "
+            "  CIRCLE(r) => 3 * r * r | SQUARE(w) => w * w | POINT => 0"
+        )
+        assert interp.call("area", ConV("CIRCLE", 2)) == 12
+        assert interp.call("area", ConV("SQUARE", 3)) == 9
+        assert interp.call("area", ConV("POINT")) == 0
+
+    def test_option(self):
+        _, interp = make(
+            "fun get(SOME(x)) = x | get(NONE) = 0"
+        )
+        assert interp.call("get", ConV("SOME", 5)) == 5
+        assert interp.call("get", ConV("NONE")) == 0
+
+    def test_constructor_as_function(self):
+        _, interp = make(
+            "fun map f nil = nil | map f (x::xs) = f x :: map f xs "
+            "fun wrap(l) = map SOME l"
+        )
+        result = interp.call("wrap", from_pylist([1, 2]))
+        assert to_pylist(result) == [ConV("SOME", 1), ConV("SOME", 2)]
+
+    def test_nested_patterns(self):
+        _, interp = make(
+            "fun f(SOME(x :: _), _) = x | f(_, d) = d"
+        )
+        assert interp.call("f", (ConV("SOME", from_pylist([9, 8])), 0)) == 9
+        assert interp.call("f", (ConV("NONE"), 42)) == 42
+
+
+class TestChecksAndCounters:
+    SRC = (
+        "fun safe_get(a, i) = if 0 <= i andalso i < length a "
+        "then sub(a, i) else ~1"
+    )
+
+    def test_eliminated_counts(self):
+        report, interp = make(self.SRC, eliminate=True)
+        assert report.all_proved
+        assert interp.call("safe_get", ([10, 20, 30], 1)) == 20
+        assert interp.stats.bound_checks_eliminated == 1
+        assert interp.stats.bound_checks_performed == 0
+
+    def test_checked_counts(self):
+        _, interp = make(self.SRC, eliminate=False)
+        assert interp.call("safe_get", ([10, 20, 30], 1)) == 20
+        assert interp.stats.bound_checks_performed == 1
+        assert interp.stats.bound_checks_eliminated == 0
+
+    def test_checked_access_raises_out_of_bounds(self):
+        _, interp = make("fun get(a, i) = sub(a, i)", eliminate=False)
+        with pytest.raises(BoundsError):
+            interp.call("get", ([1, 2], 5))
+
+    def test_ck_variants_always_check(self):
+        report, interp = make("fun get(a, i) = subCK(a, i)")
+        assert report.all_proved  # no obligations at all
+        with pytest.raises(BoundsError):
+            interp.call("get", ([1], 3))
+        assert interp.stats.bound_checks_performed == 1
+
+    def test_tag_checks(self):
+        _, interp = make("fun first(l) = hdCK(l)")
+        assert interp.call("first", from_pylist([5])) == 5
+        with pytest.raises(TagError):
+            interp.call("first", from_pylist([]))
+
+    def test_unsound_elimination_is_observable(self):
+        """Force-eliminating an unproved site really skips the test —
+        a negative index silently wraps (the unsafe-memory analogue),
+        demonstrating why elimination must be fail-closed."""
+        report = api.check("fun get(a, i) = sub(a, i)", "<t>")
+        assert not report.all_proved
+        forced = set(report.sites)  # wrongly eliminate anyway
+        interp = Interpreter(report.program, forced, env=report.env)
+        assert interp.call("get", ([1, 2, 3], -1)) == 3  # silent wrap!
+
+
+class TestValuesModule:
+    def test_list_roundtrip(self):
+        assert to_pylist(from_pylist([1, 2, 3])) == [1, 2, 3]
+        assert to_pylist(from_pylist([])) == []
+
+    def test_to_pylist_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            to_pylist(ConV("SOME", 1))
+
+    def test_render(self):
+        assert render(True) == "true"
+        assert render(()) == "()"
+        assert render((1, False)) == "(1, false)"
+        assert render([1, 2]) == "[|1, 2|]"
+        assert render(from_pylist([1, 2])) == "[1, 2]"
+        assert render(ConV("SOME", 3)) == "SOME(3)"

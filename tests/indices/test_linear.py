@@ -1,0 +1,164 @@
+"""Unit tests for linear normalization of index terms."""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.linear import (
+    Atom,
+    LinComb,
+    NonLinearIndex,
+    UnsupportedIndex,
+    atoms_of_cmp,
+    linearize,
+)
+from repro.indices.terms import Cmp, EvarStore, IConst, IVar
+
+
+class TestLinComb:
+    def test_of_const(self):
+        assert LinComb.of_const(5).const == 5
+        assert LinComb.of_const(5).is_const()
+
+    def test_of_var_zero_coeff(self):
+        assert LinComb.of_var("x", 0).is_const()
+
+    def test_add_merges_coefficients(self):
+        a = LinComb.of_var("x", 2) + LinComb.of_var("y", 1)
+        b = LinComb.of_var("x", -2) + LinComb.of_const(3)
+        total = a + b
+        assert total.coeff("x") == 0
+        assert total.coeff("y") == 1
+        assert total.const == 3
+        assert total.variables() == {"y"}
+
+    def test_scale(self):
+        a = (LinComb.of_var("x", 2) + LinComb.of_const(1)).scale(3)
+        assert a.coeff("x") == 6
+        assert a.const == 3
+
+    def test_neg(self):
+        a = -(LinComb.of_var("x") + LinComb.of_const(2))
+        assert a.coeff("x") == -1
+        assert a.const == -2
+
+    def test_substitute(self):
+        # 2x + y + 1 with x := y - 1  =>  3y - 1
+        target = LinComb.of_var("x", 2) + LinComb.of_var("y") + LinComb.of_const(1)
+        replacement = LinComb.of_var("y") + LinComb.of_const(-1)
+        result = target.substitute("x", replacement)
+        assert result.coeff("x") == 0
+        assert result.coeff("y") == 3
+        assert result.const == -1
+
+    def test_substitute_absent_var_is_identity(self):
+        target = LinComb.of_var("y")
+        assert target.substitute("x", LinComb.of_const(5)) == target
+
+    def test_content(self):
+        a = LinComb.of_var("x", 4) + LinComb.of_var("y", 6) + LinComb.of_const(3)
+        assert a.content() == 2
+        assert LinComb.of_const(7).content() == 0
+
+    def test_evaluate(self):
+        a = LinComb.of_var("x", 2) + LinComb.of_var("y", -1) + LinComb.of_const(5)
+        assert a.evaluate({"x": 3, "y": 4}) == 7
+
+    def test_str_rendering(self):
+        a = LinComb.of_var("x", 1) + LinComb.of_var("y", -2) + LinComb.of_const(-3)
+        text = str(a)
+        assert "x" in text and "y" in text and "3" in text
+
+
+class TestLinearize:
+    def test_simple(self):
+        t = terms.iadd(terms.imul(IConst(2), IVar("x")), IConst(7))
+        lin = linearize(t)
+        assert lin.coeff("x") == 2
+        assert lin.const == 7
+
+    def test_subtraction_and_negation(self):
+        t = terms.isub(IVar("x"), terms.ineg(IVar("y")))
+        lin = linearize(t)
+        assert lin.coeff("x") == 1
+        assert lin.coeff("y") == 1
+
+    def test_const_times_var_either_order(self):
+        assert linearize(terms.imul(IVar("x"), IConst(3))).coeff("x") == 3
+        assert linearize(terms.imul(IConst(3), IVar("x"))).coeff("x") == 3
+
+    def test_nonlinear_product_rejected(self):
+        t = terms.BinOp("*", IVar("x"), IVar("y"))
+        with pytest.raises(NonLinearIndex):
+            linearize(t)
+
+    def test_div_requires_elimination(self):
+        t = terms.BinOp("div", IVar("x"), IConst(2))
+        with pytest.raises(UnsupportedIndex):
+            linearize(t)
+
+    def test_evars_are_variables(self):
+        store = EvarStore()
+        e = store.fresh("M", set())
+        lin = linearize(terms.iadd(e, IConst(1)))
+        assert lin.coeff(e) == 1
+
+    def test_equivalence_with_evaluation(self):
+        t = terms.isub(
+            terms.imul(IConst(3), terms.iadd(IVar("x"), IVar("y"))),
+            terms.imul(IVar("y"), IConst(2)),
+        )
+        lin = linearize(t)
+        env = {"x": 5, "y": -2}
+        assert lin.evaluate(env) == terms.evaluate(t, env)
+
+
+class TestAtoms:
+    def test_negate_inequality(self):
+        atom = Atom(">=", LinComb.of_var("x"))
+        (negated,) = atom.negate()
+        # ~(x >= 0)  <=>  -x - 1 >= 0  <=>  x <= -1
+        assert not negated.holds({"x": 0})
+        assert negated.holds({"x": -1})
+
+    def test_negate_equality_is_disjunction(self):
+        atom = Atom("=", LinComb.of_var("x"))
+        negs = atom.negate()
+        assert len(negs) == 2
+        assert any(n.holds({"x": 1}) for n in negs)
+        assert any(n.holds({"x": -1}) for n in negs)
+        assert not any(n.holds({"x": 0}) for n in negs)
+
+    def test_trivial_detection(self):
+        assert Atom(">=", LinComb.of_const(0)).is_trivially_true()
+        assert Atom(">=", LinComb.of_const(-1)).is_trivially_false()
+        assert Atom("=", LinComb.of_const(0)).is_trivially_true()
+        assert Atom("=", LinComb.of_const(2)).is_trivially_false()
+        assert not Atom(">=", LinComb.of_var("x")).is_trivially_true()
+
+    @pytest.mark.parametrize(
+        "op,i,n,expected",
+        [
+            ("<", 2, 3, True),
+            ("<", 3, 3, False),
+            ("<=", 3, 3, True),
+            (">", 3, 3, False),
+            (">=", 3, 3, True),
+            ("=", 3, 3, True),
+            ("<>", 3, 3, False),
+            ("<>", 2, 3, True),
+        ],
+    )
+    def test_atoms_of_cmp_agree_with_semantics(self, op, i, n, expected):
+        cmp_term = Cmp(op, IVar("i"), IVar("n"))
+        disjuncts = atoms_of_cmp(cmp_term)
+        env = {"i": i, "n": n}
+        holds = any(all(a.holds(env) for a in conj) for conj in disjuncts)
+        assert holds == expected
+        assert terms.evaluate(cmp_term, env) == expected
+
+    def test_strict_inequality_integer_adjustment(self):
+        # i < n  over ints  <=>  n - i - 1 >= 0
+        (conj,) = atoms_of_cmp(Cmp("<", IVar("i"), IVar("n")))
+        (atom,) = conj
+        assert atom.holds({"i": 2, "n": 3})
+        assert not atom.holds({"i": 3, "n": 3})

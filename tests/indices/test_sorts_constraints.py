@@ -1,0 +1,92 @@
+"""Unit tests for index sorts and the constraint formula language."""
+
+import pytest
+
+from repro.indices import constraints as cs
+from repro.indices import sorts, terms
+from repro.indices.sorts import BOOL, INT, NAT, SubsetSort, named_sort, satisfies
+from repro.indices.terms import Cmp, IConst, IVar
+
+
+class TestSorts:
+    def test_base_membership_trivial(self):
+        assert INT.constraint_on(IVar("x")) == terms.TRUE
+        assert BOOL.constraint_on(IVar("b")) == terms.TRUE
+
+    def test_nat_membership(self):
+        prop = NAT.constraint_on(IVar("n"))
+        assert str(prop) == "n >= 0"
+
+    def test_nested_subset(self):
+        small_nat = SubsetSort(
+            "k", NAT, terms.cmp("<", IVar("k"), IConst(10))
+        )
+        prop = small_nat.constraint_on(IVar("m"))
+        assert "m >= 0" in str(prop) and "m < 10" in str(prop)
+
+    def test_membership_substitutes_target(self):
+        prop = NAT.constraint_on(terms.iadd(IVar("a"), IConst(1)))
+        assert str(prop) == "(a + 1) >= 0"
+
+    def test_named_sorts(self):
+        assert named_sort("int") is INT
+        assert named_sort("bool") is BOOL
+        assert named_sort("nat") is NAT
+        assert named_sort("wibble") is None
+
+    def test_base(self):
+        assert NAT.base() == "int"
+        assert BOOL.base() == "bool"
+
+    def test_satisfies(self):
+        assert satisfies(5, NAT)
+        assert not satisfies(-1, NAT)
+        assert satisfies(-1, INT)
+        assert satisfies(True, BOOL)
+        assert not satisfies(True, INT)  # bools are not ints here
+        assert not satisfies(3, BOOL)
+
+    def test_satisfies_nested(self):
+        digit = SubsetSort("d", NAT, terms.cmp("<", IVar("d"), IConst(10)))
+        assert satisfies(9, digit)
+        assert not satisfies(10, digit)
+        assert not satisfies(-1, digit)
+
+    def test_str(self):
+        assert str(NAT) == "{a:int | a >= 0}"
+
+
+class TestConstraintTree:
+    PROP = cs.CProp(Cmp("<", IVar("i"), IVar("n")))
+
+    def test_cand_units(self):
+        assert cs.cand(cs.TRUE, self.PROP) is self.PROP
+        assert cs.cand(self.PROP, cs.TRUE) is self.PROP
+
+    def test_conj(self):
+        combined = cs.conj([self.PROP, self.PROP, cs.TRUE])
+        assert cs.count_props(combined) == 2
+
+    def test_guard_simplifies(self):
+        assert cs.guard(terms.TRUE, self.PROP) is self.PROP
+        assert isinstance(cs.guard(IVar("b"), self.PROP), cs.CImpl)
+        assert cs.guard(IVar("b"), cs.TRUE) is cs.TRUE
+
+    def test_forall_drops_trivial_body(self):
+        assert cs.forall("n", NAT, cs.TRUE) is cs.TRUE
+        assert isinstance(cs.forall("n", NAT, self.PROP), cs.CForall)
+
+    def test_count_props(self):
+        tree = cs.CForall(
+            "n", NAT,
+            cs.CImpl(
+                IVar("b"),
+                cs.CAnd(self.PROP, cs.CExists("k", NAT, self.PROP)),
+            ),
+        )
+        assert cs.count_props(tree) == 2
+
+    def test_str_rendering(self):
+        tree = cs.forall("n", NAT, cs.guard(IVar("b"), self.PROP))
+        text = str(tree)
+        assert "forall n" in text and "==>" in text

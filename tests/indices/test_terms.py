@@ -1,0 +1,206 @@
+"""Unit tests for the index term language."""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.terms import (
+    BConst,
+    Cmp,
+    EVar,
+    EvarStore,
+    IConst,
+    IVar,
+    evaluate,
+    free_evars,
+    free_vars,
+    sort_of,
+    subst,
+)
+from repro.lang.errors import EvalError
+
+
+class TestSmartConstructors:
+    def test_constant_folding_add(self):
+        assert terms.iadd(IConst(2), IConst(3)) == IConst(5)
+
+    def test_add_zero_identity(self):
+        x = IVar("x")
+        assert terms.iadd(x, IConst(0)) is x
+        assert terms.iadd(IConst(0), x) is x
+
+    def test_sub_zero_identity(self):
+        x = IVar("x")
+        assert terms.isub(x, IConst(0)) is x
+
+    def test_mul_one_identity(self):
+        x = IVar("x")
+        assert terms.imul(IConst(1), x) is x
+        assert terms.imul(x, IConst(1)) is x
+
+    def test_mul_zero_annihilates(self):
+        assert terms.imul(IVar("x"), IConst(0)) == IConst(0)
+
+    def test_div_constant_floor(self):
+        assert terms.idiv(IConst(-7), IConst(2)) == IConst(-4)
+        assert terms.idiv(IConst(7), IConst(2)) == IConst(3)
+
+    def test_mod_constant_sign_follows_divisor(self):
+        # SML mod: result has the sign of the divisor.
+        assert terms.imod(IConst(-7), IConst(2)) == IConst(1)
+        assert terms.imod(IConst(7), IConst(-2)) == IConst(-1)
+
+    def test_min_max_abs_sgn_folding(self):
+        assert terms.imin(IConst(2), IConst(5)) == IConst(2)
+        assert terms.imax(IConst(2), IConst(5)) == IConst(5)
+        assert terms.iabs(IConst(-4)) == IConst(4)
+        assert terms.isgn(IConst(-4)) == IConst(-1)
+        assert terms.isgn(IConst(0)) == IConst(0)
+
+    def test_cmp_constant_folding(self):
+        assert terms.cmp("<", IConst(1), IConst(2)) == BConst(True)
+        assert terms.cmp("=", IConst(1), IConst(2)) == BConst(False)
+
+    def test_cmp_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            terms.cmp("!!", IConst(1), IConst(2))
+
+    def test_bnot_pushes_through_cmp(self):
+        negated = terms.bnot(Cmp("<", IVar("i"), IVar("n")))
+        assert negated == Cmp(">=", IVar("i"), IVar("n"))
+
+    def test_bnot_involution(self):
+        prop = Cmp("=", IVar("i"), IVar("n"))
+        assert terms.bnot(terms.bnot(prop)) == prop
+
+    def test_band_units(self):
+        p = Cmp("<", IVar("i"), IVar("n"))
+        assert terms.band(terms.TRUE, p) is p
+        assert terms.band(p, terms.FALSE) == terms.FALSE
+
+    def test_bor_units(self):
+        p = Cmp("<", IVar("i"), IVar("n"))
+        assert terms.bor(terms.FALSE, p) is p
+        assert terms.bor(p, terms.TRUE) == terms.TRUE
+
+    def test_operator_overloads(self):
+        x = IVar("x")
+        assert (x + 1) == terms.iadd(x, IConst(1))
+        assert (1 + x) == terms.iadd(IConst(1), x)
+        assert (x - 1) == terms.isub(x, IConst(1))
+        assert (2 * x) == terms.imul(IConst(2), x)
+
+
+class TestTraversals:
+    def test_free_vars(self):
+        t = terms.iadd(IVar("m"), terms.imul(IConst(2), IVar("n")))
+        assert free_vars(t) == {"m", "n"}
+
+    def test_free_evars(self):
+        store = EvarStore()
+        e = store.fresh("M", set())
+        t = terms.iadd(e, IVar("n"))
+        assert free_evars(t) == {e}
+
+    def test_subst_replaces_var(self):
+        t = terms.iadd(IVar("m"), IVar("n"))
+        replaced = subst(t, {"m": IConst(3)})
+        assert evaluate(replaced, {"n": 4}) == 7
+
+    def test_subst_empty_mapping_is_identity(self):
+        t = terms.iadd(IVar("m"), IVar("n"))
+        assert subst(t, {}) is t
+
+    def test_rename(self):
+        t = Cmp("<", IVar("i"), IVar("n"))
+        assert terms.rename(t, {"i": "j"}) == Cmp("<", IVar("j"), IVar("n"))
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        t = terms.isub(terms.imul(IConst(3), IVar("x")), IConst(1))
+        assert evaluate(t, {"x": 4}) == 11
+
+    def test_floor_division_matches_sml(self):
+        t = terms.idiv(IVar("a"), IVar("b"))
+        assert evaluate(t, {"a": -7, "b": 2}) == -4
+
+    def test_division_by_zero_raises(self):
+        t = terms.idiv(IVar("a"), IVar("b"))
+        with pytest.raises(EvalError):
+            evaluate(t, {"a": 1, "b": 0})
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(IVar("zzz"), {})
+
+    def test_boolean_connectives(self):
+        t = terms.band(
+            Cmp("<=", IConst(0), IVar("i")),
+            Cmp("<", IVar("i"), IVar("n")),
+        )
+        assert evaluate(t, {"i": 3, "n": 5}) is True
+        assert evaluate(t, {"i": 5, "n": 5}) is False
+
+    def test_not(self):
+        t = terms.Not(Cmp("=", IVar("i"), IConst(0)))
+        assert evaluate(t, {"i": 1}) is True
+
+    def test_unsolved_evar_rejected(self):
+        store = EvarStore()
+        e = store.fresh("M", set())
+        with pytest.raises(EvalError):
+            evaluate(e, {})
+
+
+class TestSorts:
+    def test_sort_of(self):
+        assert sort_of(IConst(1)) == "int"
+        assert sort_of(BConst(True)) == "bool"
+        assert sort_of(Cmp("<", IVar("i"), IVar("n"))) == "bool"
+        assert sort_of(IVar("b"), {"b": "bool"}) == "bool"
+
+
+class TestEvarStore:
+    def test_fresh_evars_distinct(self):
+        store = EvarStore()
+        assert store.fresh("M", set()) != store.fresh("M", set())
+
+    def test_solve_and_resolve(self):
+        store = EvarStore()
+        e = store.fresh("M", {"n"})
+        assert store.solve(e, IVar("n"))
+        assert store.resolve(terms.iadd(e, IConst(1))) == terms.iadd(
+            IVar("n"), IConst(1)
+        )
+
+    def test_solve_respects_scope(self):
+        store = EvarStore()
+        e = store.fresh("M", {"n"})
+        assert not store.solve(e, IVar("out_of_scope"))
+
+    def test_solve_occurs_check(self):
+        store = EvarStore()
+        e = store.fresh("M", {"n"})
+        assert not store.solve(e, terms.iadd(e, IConst(1)))
+
+    def test_double_solve_rejected(self):
+        store = EvarStore()
+        e = store.fresh("M", {"n"})
+        assert store.solve(e, IConst(0))
+        assert not store.solve(e, IConst(1))
+
+    def test_resolve_chains(self):
+        store = EvarStore()
+        e1 = store.fresh("A", {"n"})
+        e2 = store.fresh("B", {"n"})
+        assert store.solve(e1, terms.iadd(e2, IConst(1)))
+        assert store.solve(e2, IVar("n"))
+        resolved = store.resolve(e1)
+        assert evaluate(resolved, {"n": 5}) == 6
+
+    def test_unsolved_in(self):
+        store = EvarStore()
+        e1 = store.fresh("A", set())
+        e2 = store.fresh("B", set())
+        store.solve(e1, IConst(0))
+        assert store.unsolved_in(terms.iadd(e1, e2)) == {e2}

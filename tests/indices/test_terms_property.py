@@ -1,0 +1,147 @@
+"""Property-based tests for the index-term algebra.
+
+Core invariants: smart constructors preserve semantics, substitution
+commutes with evaluation, linearization agrees with direct evaluation,
+and boolean negation is a semantic involution.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indices import terms
+from repro.indices.linear import NonLinearIndex, UnsupportedIndex, linearize
+from repro.indices.terms import (
+    BConst,
+    Cmp,
+    IConst,
+    IVar,
+    evaluate,
+    free_vars,
+    subst,
+)
+
+VARS = ["x", "y", "z"]
+
+
+def envs():
+    return st.fixed_dictionaries({v: st.integers(-30, 30) for v in VARS})
+
+
+@st.composite
+def int_terms(draw, depth=3):
+    if depth == 0:
+        return draw(st.one_of(
+            st.integers(-10, 10).map(IConst),
+            st.sampled_from(VARS).map(IVar),
+        ))
+    sub_terms = int_terms(depth=depth - 1)
+    return draw(st.one_of(
+        int_terms(depth=0),
+        st.tuples(sub_terms, sub_terms).map(lambda p: terms.iadd(*p)),
+        st.tuples(sub_terms, sub_terms).map(lambda p: terms.isub(*p)),
+        st.tuples(sub_terms, st.integers(-4, 4).map(IConst)).map(
+            lambda p: terms.imul(*p)
+        ),
+        st.tuples(sub_terms, sub_terms).map(lambda p: terms.imin(*p)),
+        st.tuples(sub_terms, sub_terms).map(lambda p: terms.imax(*p)),
+        sub_terms.map(terms.ineg),
+        sub_terms.map(terms.iabs),
+        st.tuples(sub_terms, st.sampled_from([2, 3, 5]).map(IConst)).map(
+            lambda p: terms.idiv(*p)
+        ),
+        st.tuples(sub_terms, st.sampled_from([2, 3, 5]).map(IConst)).map(
+            lambda p: terms.imod(*p)
+        ),
+    ))
+
+
+@st.composite
+def bool_terms(draw, depth=2):
+    ints = int_terms(depth=2)
+    if depth == 0:
+        return draw(st.one_of(
+            st.booleans().map(BConst),
+            st.tuples(st.sampled_from(terms.CMP_OPS), ints, ints).map(
+                lambda t: terms.cmp(*t)
+            ),
+        ))
+    sub_bools = bool_terms(depth=depth - 1)
+    return draw(st.one_of(
+        bool_terms(depth=0),
+        st.tuples(sub_bools, sub_bools).map(lambda p: terms.band(*p)),
+        st.tuples(sub_bools, sub_bools).map(lambda p: terms.bor(*p)),
+        sub_bools.map(terms.bnot),
+    ))
+
+
+@given(int_terms(), envs())
+@settings(max_examples=200, deadline=None)
+def test_evaluation_total_on_generated_terms(term, env):
+    value = evaluate(term, env)
+    assert isinstance(value, int)
+
+
+@given(int_terms(), envs(), st.integers(-10, 10))
+@settings(max_examples=150, deadline=None)
+def test_subst_commutes_with_evaluation(term, env, k):
+    """eval(term[x := k], env) == eval(term, env[x := k])."""
+    substituted = subst(term, {"x": IConst(k)})
+    env_with = dict(env)
+    env_with["x"] = k
+    assert evaluate(substituted, env) == evaluate(term, env_with)
+
+
+@given(int_terms(), envs())
+@settings(max_examples=150, deadline=None)
+def test_linearize_agrees_with_evaluation(term, env):
+    """Where linearization is defined, it preserves the semantics."""
+    try:
+        lin = linearize(term)
+    except (NonLinearIndex, UnsupportedIndex):
+        return
+    assert lin.evaluate(env) == evaluate(term, env)
+
+
+@given(bool_terms(), envs())
+@settings(max_examples=200, deadline=None)
+def test_bnot_is_semantic_negation(term, env):
+    assert evaluate(terms.bnot(term), env) == (not evaluate(term, env))
+
+
+@given(bool_terms(), envs())
+@settings(max_examples=150, deadline=None)
+def test_double_negation(term, env):
+    assert evaluate(terms.bnot(terms.bnot(term)), env) == evaluate(term, env)
+
+
+@given(int_terms())
+@settings(max_examples=150, deadline=None)
+def test_free_vars_sound(term):
+    """Evaluation only needs the reported free variables."""
+    needed = free_vars(term)
+    env = {v: 1 for v in needed}
+    evaluate(term, env)  # must not raise for missing variables
+
+
+@given(int_terms(), envs())
+@settings(max_examples=100, deadline=None)
+def test_rename_then_evaluate(term, env):
+    renamed = terms.rename(term, {"x": "w"})
+    env2 = dict(env)
+    env2["w"] = env["x"]
+    assert evaluate(renamed, env2) == evaluate(term, env)
+
+
+@given(bool_terms(), envs())
+@settings(max_examples=100, deadline=None)
+def test_str_is_reparseable_semantically(term, env):
+    """Printing a boolean index and re-parsing it through the type
+    parser preserves meaning (printer/parser coherence)."""
+    from repro.lang.parser import parse_type
+    from repro.lang import ast
+
+    text = f"{{q:int | {term}}} int(q)"
+    ty = parse_type(text)
+    assert isinstance(ty, ast.STyPi)
+    reparsed = ty.guard
+    assert evaluate(reparsed, env) == evaluate(term, env)

@@ -1,0 +1,141 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import KEYWORDS, Token, tokenize
+from repro.lang.source import SourceFile
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(SourceFile(text))]
+
+
+def texts(text):
+    return [t.text for t in tokenize(SourceFile(text)) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        assert kinds("") == ["EOF"]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  \r\n") == ["EOF"]
+
+    def test_integer(self):
+        tokens = tokenize(SourceFile("42"))
+        assert tokens[0].kind == "INT"
+        assert tokens[0].text == "42"
+
+    def test_identifier(self):
+        assert kinds("foo") == ["ID", "EOF"]
+
+    def test_identifier_with_primes_and_digits(self):
+        assert texts("x1 y' loop2'") == ["x1", "y'", "loop2'"]
+
+    def test_underscore_identifier(self):
+        assert kinds("_foo") == ["ID", "EOF"]
+
+    def test_lone_underscore_is_wildcard(self):
+        assert kinds("_") == ["_", "EOF"]
+
+    def test_tyvar(self):
+        tokens = tokenize(SourceFile("'a"))
+        assert tokens[0].kind == "TYVAR"
+        assert tokens[0].text == "'a"
+
+    def test_tyvar_multichar(self):
+        assert texts("'result") == ["'result"]
+
+    def test_bad_tyvar(self):
+        with pytest.raises(LexError):
+            tokenize(SourceFile("' 1"))
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize(SourceFile("x @ y"))
+
+
+class TestKeywords:
+    @pytest.mark.parametrize("word", sorted(KEYWORDS))
+    def test_keyword_kind(self, word):
+        assert kinds(word)[0] == word
+
+    def test_keyword_prefix_is_identifier(self):
+        # "iffy" is not "if".
+        assert kinds("iffy funny lets") == ["ID", "ID", "ID", "EOF"]
+
+
+class TestSymbols:
+    def test_annotation_arrow(self):
+        assert kinds("f <| ty") == ["ID", "<|", "ID", "EOF"]
+
+    def test_maximal_munch(self):
+        assert kinds("<= < <> <|") == ["<=", "<", "<>", "<|", "EOF"]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("-> - =>") == ["->", "-", "=>", "EOF"]
+
+    def test_cons(self):
+        assert kinds("x::xs") == ["ID", "::", "ID", "EOF"]
+
+    def test_colon_vs_cons(self):
+        assert kinds("x : t") == ["ID", ":", "ID", "EOF"]
+
+    def test_logical_symbols(self):
+        assert kinds("a /\\ b \\/ c") == ["ID", "/\\", "ID", "\\/", "ID", "EOF"]
+
+    def test_braces_and_brackets(self):
+        assert kinds("{n:nat} [i:int]") == [
+            "{", "ID", ":", "ID", "}", "[", "ID", ":", "ID", "]", "EOF",
+        ]
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert kinds("(* hello *) x") == ["ID", "EOF"]
+
+    def test_nested_comment(self):
+        assert kinds("(* outer (* inner *) still *) x") == ["ID", "EOF"]
+
+    def test_comment_with_code_inside(self):
+        assert kinds("(* fun f x = x *) 42") == ["INT", "EOF"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize(SourceFile("(* unclosed"))
+
+    def test_unterminated_nested_comment(self):
+        with pytest.raises(LexError):
+            tokenize(SourceFile("(* a (* b *)"))
+
+
+class TestSpans:
+    def test_token_spans_cover_text(self):
+        source = SourceFile("foo 42")
+        tokens = tokenize(source)
+        assert source.text[tokens[0].span.start:tokens[0].span.end] == "foo"
+        assert source.text[tokens[1].span.start:tokens[1].span.end] == "42"
+
+    def test_eof_span_at_end(self):
+        source = SourceFile("x")
+        assert tokenize(source)[-1].span.start == 1
+
+
+class TestRealPrograms:
+    def test_figure1_tokenizes(self):
+        text = """
+        assert length <| {n:nat} 'a array(n) -> int(n)
+        fun dotprod(v1, v2) = loop(0, length v1, 0)
+        where dotprod <| {p:nat} int array(p) -> int
+        """
+        tokens = tokenize(SourceFile(text))
+        assert tokens[-1].kind == "EOF"
+        assert "assert" in [t.kind for t in tokens]
+
+    def test_prelude_tokenizes(self):
+        from repro import programs
+
+        tokens = tokenize(SourceFile(programs.prelude_source()))
+        assert tokens[-1].kind == "EOF"
+        assert len(tokens) > 300

@@ -1,0 +1,426 @@
+"""Unit tests for the parser: every syntactic construct plus errors."""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.sorts import NAT, SubsetSort
+from repro.indices.terms import Cmp, IConst, IVar
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program, parse_type
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        assert parse_expression("42") == ast.EInt(42, span=parse_expression("42").span)
+
+    def test_negative_literal(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.EInt) and expr.value == -5
+
+    def test_tilde_negation(self):
+        expr = parse_expression("~5")
+        assert isinstance(expr, ast.EInt) and expr.value == -5
+
+    def test_tilde_on_variable(self):
+        expr = parse_expression("~x")
+        assert isinstance(expr, ast.EApp)
+        assert isinstance(expr.fn, ast.EVar) and expr.fn.name == "~"
+
+    def test_bools_and_unit(self):
+        assert isinstance(parse_expression("true"), ast.EBool)
+        assert isinstance(parse_expression("false"), ast.EBool)
+        assert isinstance(parse_expression("()"), ast.EUnit)
+
+    def test_application_left_assoc(self):
+        expr = parse_expression("f x y")
+        assert isinstance(expr, ast.EApp)
+        assert isinstance(expr.fn, ast.EApp)
+        assert isinstance(expr.fn.fn, ast.EVar) and expr.fn.fn.name == "f"
+
+    def test_binop_desugars_to_application(self):
+        expr = parse_expression("a + b")
+        assert isinstance(expr, ast.EApp)
+        assert isinstance(expr.fn, ast.EVar) and expr.fn.name == "+"
+        assert isinstance(expr.arg, ast.ETuple) and len(expr.arg.items) == 2
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert expr.fn.name == "+"
+        right = expr.arg.items[1]
+        assert right.fn.name == "*"
+
+    def test_precedence_add_over_cmp(self):
+        expr = parse_expression("a + b < c")
+        assert expr.fn.name == "<"
+
+    def test_cons_right_assoc(self):
+        expr = parse_expression("a :: b :: c")
+        assert isinstance(expr.fn, ast.ECon) and expr.fn.name == "::"
+        tail = expr.arg.items[1]
+        assert isinstance(tail.fn, ast.ECon) and tail.fn.name == "::"
+
+    def test_cons_between_add_and_cmp(self):
+        # a + b :: c parses as (a+b) :: c
+        expr = parse_expression("a + b :: c")
+        assert expr.fn.name == "::"
+        assert expr.arg.items[0].fn.name == "+"
+
+    def test_if_then_else(self):
+        expr = parse_expression("if a then b else c")
+        assert isinstance(expr, ast.EIf)
+
+    def test_nested_if(self):
+        expr = parse_expression("if a then b else if c then d else e")
+        assert isinstance(expr.els, ast.EIf)
+
+    def test_andalso_orelse_precedence(self):
+        expr = parse_expression("a andalso b orelse c")
+        assert isinstance(expr, ast.EOrElse)
+        assert isinstance(expr.left, ast.EAndAlso)
+
+    def test_tuple(self):
+        expr = parse_expression("(1, 2, 3)")
+        assert isinstance(expr, ast.ETuple) and len(expr.items) == 3
+
+    def test_parenthesized_not_tuple(self):
+        assert isinstance(parse_expression("(1)"), ast.EInt)
+
+    def test_sequence(self):
+        expr = parse_expression("(f x; g y; 3)")
+        assert isinstance(expr, ast.ESeq) and len(expr.items) == 3
+
+    def test_ascription(self):
+        expr = parse_expression("(x : int)")
+        assert isinstance(expr, ast.EAnnot)
+
+    def test_let_val(self):
+        expr = parse_expression("let val x = 1 in x end")
+        assert isinstance(expr, ast.ELet)
+        assert isinstance(expr.decls[0], ast.DVal)
+
+    def test_let_multiple_decls(self):
+        expr = parse_expression("let val x = 1 val y = 2 in x + y end")
+        assert len(expr.decls) == 2
+
+    def test_let_body_sequence(self):
+        expr = parse_expression("let val x = 1 in f x; x end")
+        assert isinstance(expr.body, ast.ESeq)
+
+    def test_case(self):
+        expr = parse_expression("case x of nil => 0 | y :: ys => 1")
+        assert isinstance(expr, ast.ECase) and len(expr.clauses) == 2
+
+    def test_case_optional_leading_bar(self):
+        expr = parse_expression("case x of | nil => 0 | _ => 1")
+        assert len(expr.clauses) == 2
+
+    def test_fn(self):
+        expr = parse_expression("fn x => x + 1")
+        assert isinstance(expr, ast.EFn)
+        assert isinstance(expr.param, ast.PVar)
+
+    def test_fn_tuple_pattern(self):
+        expr = parse_expression("fn (x, y) => x")
+        assert isinstance(expr.param, ast.PTuple)
+
+    def test_op_keyword(self):
+        expr = parse_expression("f (op +)")
+        assert isinstance(expr.arg, ast.EVar) and expr.arg.name == "+"
+
+    def test_not(self):
+        expr = parse_expression("not b")
+        assert expr.fn.name == "not"
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse_expression("if a b else c")
+
+
+class TestPatterns:
+    def parse_clause_pattern(self, text):
+        program = parse_program(f"fun f{text} = 0")
+        return program.decls[0].bindings[0].clauses[0].params[0]
+
+    def test_tuple_pattern(self):
+        pat = self.parse_clause_pattern("(x, y)")
+        assert isinstance(pat, ast.PTuple)
+
+    def test_wildcard(self):
+        pat = self.parse_clause_pattern("(_, x)")
+        assert isinstance(pat.items[0], ast.PWild)
+
+    def test_int_pattern(self):
+        pat = self.parse_clause_pattern("(0, x)")
+        assert isinstance(pat.items[0], ast.PInt)
+
+    def test_negative_int_pattern(self):
+        pat = self.parse_clause_pattern("(-1, x)")
+        assert pat.items[0].value == -1
+
+    def test_cons_pattern(self):
+        pat = self.parse_clause_pattern("(x :: xs, y)")
+        cons = pat.items[0]
+        assert isinstance(cons, ast.PCon) and cons.name == "::"
+
+    def test_nested_cons_pattern(self):
+        pat = self.parse_clause_pattern("(x :: y :: rest, z)")
+        inner = pat.items[0].arg.items[1]
+        assert isinstance(inner, ast.PCon) and inner.name == "::"
+
+    def test_constructor_with_tuple_arg(self):
+        pat = self.parse_clause_pattern("(SOME(m, x))")
+        assert isinstance(pat, ast.PCon) and pat.name == "SOME"
+        assert isinstance(pat.arg, ast.PTuple)
+
+    def test_bool_pattern(self):
+        pat = self.parse_clause_pattern("(true, x)")
+        assert isinstance(pat.items[0], ast.PBool)
+
+
+class TestTypes:
+    def test_simple_con(self):
+        ty = parse_type("int")
+        assert isinstance(ty, ast.STyCon) and ty.name == "int" and not ty.iargs
+
+    def test_indexed_con(self):
+        ty = parse_type("int(n+1)")
+        assert ty.iargs == [terms.iadd(IVar("n"), IConst(1))]
+
+    def test_postfix_application(self):
+        ty = parse_type("int list")
+        assert ty.name == "list"
+        assert isinstance(ty.tyargs[0], ast.STyCon)
+
+    def test_postfix_with_index(self):
+        ty = parse_type("'a array(n)")
+        assert ty.name == "array" and len(ty.iargs) == 1
+        assert isinstance(ty.tyargs[0], ast.STyVar)
+
+    def test_nested_postfix(self):
+        ty = parse_type("(int array(m)) array(n)")
+        assert ty.name == "array"
+        assert ty.tyargs[0].name == "array"
+
+    def test_multi_tyarg(self):
+        ty = parse_type("('a, 'b) pair")
+        assert ty.name == "pair" and len(ty.tyargs) == 2
+
+    def test_tuple_type(self):
+        ty = parse_type("int * bool * unit")
+        assert isinstance(ty, ast.STyTuple) and len(ty.items) == 3
+
+    def test_arrow_right_assoc(self):
+        ty = parse_type("int -> int -> int")
+        assert isinstance(ty, ast.STyArrow)
+        assert isinstance(ty.cod, ast.STyArrow)
+
+    def test_tuple_binds_tighter_than_arrow(self):
+        ty = parse_type("int * int -> int")
+        assert isinstance(ty, ast.STyArrow)
+        assert isinstance(ty.dom, ast.STyTuple)
+
+    def test_pi_type(self):
+        ty = parse_type("{n:nat} int(n) -> int(n)")
+        assert isinstance(ty, ast.STyPi)
+        assert ty.binders[0].name == "n"
+        assert ty.guard is None
+
+    def test_pi_with_guard(self):
+        ty = parse_type("{i:nat | i < n} int(i)")
+        assert isinstance(ty.guard, Cmp)
+
+    def test_pi_multiple_binders_shared_guard(self):
+        ty = parse_type("{size:int, i:int | 0 <= i < size} int(i)")
+        assert len(ty.binders) == 2
+        # chained comparison becomes a conjunction
+        assert isinstance(ty.guard, terms.And)
+
+    def test_sigma_type(self):
+        ty = parse_type("[n:nat | n <= m] 'a list(n)")
+        assert isinstance(ty, ast.STySig)
+
+    def test_subset_sort(self):
+        ty = parse_type("{i:{a:int | a >= 0}} int(i)")
+        assert isinstance(ty.binders[0].sort, SubsetSort)
+
+    def test_nat_sort(self):
+        ty = parse_type("{n:nat} int(n)")
+        assert ty.binders[0].sort == NAT
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(ParseError):
+            parse_type("{n:floop} int(n)")
+
+    def test_stacked_quantifiers(self):
+        ty = parse_type("{m:nat} {n:nat} int(m) * int(n) -> int(m+n)")
+        assert isinstance(ty, ast.STyPi)
+        assert isinstance(ty.body, ast.STyPi)
+
+
+class TestIndexExpressions:
+    def guard_of(self, text):
+        return parse_type(text).guard
+
+    def test_arithmetic_precedence(self):
+        guard = self.guard_of("{i:int | i = a + b * 2} int(i)")
+        rhs = guard.right
+        assert rhs == terms.iadd(IVar("a"), terms.imul(IVar("b"), IConst(2)))
+
+    def test_div_mod_keywords(self):
+        guard = self.guard_of("{i:int | i = a div 2 + a mod 2} int(i)")
+        assert "div" in str(guard) and "mod" in str(guard)
+
+    def test_div_mod_call_syntax(self):
+        guard = self.guard_of("{i:int | mod(i, 4) = 0} int(i)")
+        assert "mod" in str(guard)
+
+    def test_min_max_abs_sgn(self):
+        guard = self.guard_of("{i:int | i = min(a, b) + max(a, b) - abs(sgn(a))} int(i)")
+        text = str(guard)
+        assert all(fn in text for fn in ["min", "max", "abs", "sgn"])
+
+    def test_index_function_arity_error(self):
+        with pytest.raises(ParseError):
+            parse_type("{i:int | i = min(a)} int(i)")
+
+    def test_boolean_connectives(self):
+        guard = self.guard_of("{i:int | i < 0 \\/ i > 5 /\\ not (i = 7)} int(i)")
+        assert isinstance(guard, terms.Or)
+
+    def test_chained_comparison(self):
+        guard = self.guard_of("{i:int | 0 <= i < n} int(i)")
+        assert guard == terms.band(
+            Cmp("<=", IConst(0), IVar("i")), Cmp("<", IVar("i"), IVar("n"))
+        )
+
+    def test_unary_minus_in_index(self):
+        guard = self.guard_of("{i:int | i >= -1} int(i)")
+        assert guard == Cmp(">=", IVar("i"), IConst(-1))
+
+
+class TestDeclarations:
+    def test_fun_single_clause(self):
+        program = parse_program("fun f(x) = x")
+        binding = program.decls[0].bindings[0]
+        assert binding.name == "f"
+        assert len(binding.clauses) == 1
+
+    def test_fun_multiple_clauses(self):
+        program = parse_program("fun f(0) = 1 | f(n) = n")
+        assert len(program.decls[0].bindings[0].clauses) == 2
+
+    def test_fun_clause_name_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("fun f(0) = 1 | g(n) = n")
+
+    def test_fun_curried(self):
+        program = parse_program("fun f x y = x")
+        assert len(program.decls[0].bindings[0].clauses[0].params) == 2
+
+    def test_fun_where(self):
+        program = parse_program("fun f(x) = x where f <| int -> int")
+        assert program.decls[0].bindings[0].where_type is not None
+
+    def test_fun_where_name_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("fun f(x) = x where g <| int -> int")
+
+    def test_fun_and_group(self):
+        program = parse_program("fun f(x) = g(x) and g(x) = f(x)")
+        assert len(program.decls[0].bindings) == 2
+
+    def test_fun_explicit_typarams(self):
+        program = parse_program("fun('a) id(x) = x")
+        assert program.decls[0].bindings[0].typarams == ["'a"]
+
+    def test_fun_explicit_ixparams(self):
+        program = parse_program("fun{size:nat} f(x) = x")
+        assert program.decls[0].bindings[0].ixparams[0].name == "size"
+
+    def test_fun_typarams_and_ixparams(self):
+        program = parse_program("fun('a){size:nat} f(x) = x")
+        binding = program.decls[0].bindings[0]
+        assert binding.typarams == ["'a"] and binding.ixparams[0].name == "size"
+
+    def test_val(self):
+        program = parse_program("val x = 42")
+        assert isinstance(program.decls[0], ast.DVal)
+
+    def test_val_tuple_pattern(self):
+        program = parse_program("val (a, b) = (1, 2)")
+        assert isinstance(program.decls[0].pat, ast.PTuple)
+
+    def test_val_ascription(self):
+        program = parse_program("val x : int = 42")
+        assert program.decls[0].where_type is not None
+
+    def test_datatype(self):
+        program = parse_program("datatype color = RED | GREEN | BLUE")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.DDatatype)
+        assert [c.name for c in decl.constructors] == ["RED", "GREEN", "BLUE"]
+
+    def test_datatype_with_args(self):
+        program = parse_program("datatype 'a option = NONE | SOME of 'a")
+        decl = program.decls[0]
+        assert decl.tyvars == ["'a"]
+        assert decl.constructors[1].arg is not None
+
+    def test_datatype_infix_constructor(self):
+        program = parse_program("datatype 'a list = nil | :: of 'a * 'a list")
+        assert program.decls[0].constructors[1].name == "::"
+
+    def test_typeref(self):
+        program = parse_program(
+            "datatype 'a list = nil | :: of 'a * 'a list "
+            "typeref 'a list of nat with nil <| 'a list(0) "
+            "| :: <| {n:nat} 'a * 'a list(n) -> 'a list(n+1)"
+        )
+        decl = program.decls[1]
+        assert isinstance(decl, ast.DTyperef)
+        assert decl.tycon == "list"
+        assert len(decl.clauses) == 2
+
+    def test_assert_group(self):
+        program = parse_program(
+            "assert length <| {n:nat} 'a array(n) -> int(n) "
+            "and sub <| {n:nat, i:nat | i < n} 'a array(n) * int(i) -> 'a"
+        )
+        decl = program.decls[0]
+        assert isinstance(decl, ast.DAssert) and len(decl.items) == 2
+
+    def test_assert_operator(self):
+        program = parse_program(
+            "assert + <| {m:int, n:int} int(m) * int(n) -> int(m+n)"
+        )
+        assert program.decls[0].items[0][0] == "+"
+
+    def test_type_abbreviation(self):
+        program = parse_program("type intPrefix = [i:int | 0 <= i+1] int(i)")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.DTypeAbbrev) and decl.name == "intPrefix"
+
+    def test_empty_program(self):
+        assert parse_program("").decls == []
+
+    def test_garbage_declaration(self):
+        with pytest.raises(ParseError):
+            parse_program("1 + 2")
+
+
+class TestWholeCorpus:
+    @pytest.mark.parametrize(
+        "name",
+        ["prelude", "dotprod", "reverse", "bsearch", "bcopy", "bubblesort",
+         "matmult", "queens", "quicksort", "hanoi", "listaccess", "kmp"],
+    )
+    def test_corpus_parses(self, name):
+        from repro import programs
+
+        program = parse_program(programs.load_source(name), name)
+        assert program.decls

@@ -1,0 +1,113 @@
+"""Round-trip tests for the pretty printer.
+
+``parse(pretty(parse(src)))`` must be structurally identical to
+``parse(src)`` (spans excluded), across the whole corpus and a set of
+tricky hand-written programs.
+"""
+
+import pytest
+
+from repro import programs
+from repro.lang import ast
+from repro.lang.parser import parse_expression, parse_program, parse_type
+from repro.lang.pretty import pretty_expr, pretty_program, pretty_type
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality ignoring spans."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if hasattr(a, "__dataclass_fields__"):
+        for field in a.__dataclass_fields__:
+            if field == "span":
+                continue
+            if not ast_equal(getattr(a, field), getattr(b, field)):
+                return False
+        return True
+    return a == b
+
+
+CORPUS = ["prelude", "dotprod", "reverse", "bsearch", "bcopy", "bubblesort",
+          "matmult", "queens", "quicksort", "hanoi", "listaccess", "kmp"]
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_corpus_roundtrip(name):
+    original = parse_program(programs.load_source(name), name)
+    printed = pretty_program(original)
+    reparsed = parse_program(printed, f"{name}-pretty")
+    assert ast_equal(original, reparsed), f"round-trip changed {name}"
+
+
+TRICKY_EXPRESSIONS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "f x y",
+    "f (x, y)",
+    "f (g x) (h y)",
+    "if a then b else c",
+    "if a andalso b then c else d orelse e",
+    "a :: b :: c",
+    "(a + b) :: c",
+    "case x of nil => 0 | y :: ys => 1 + f ys",
+    "let val x = 1 val y = x + 1 in x * y end",
+    "let fun f(a) = a in f 3 end",
+    "(fn x => x + 1) 41",
+    "fn (a, b) => a",
+    "(f x; g y; ())",
+    "(x : int)",
+    "~x + ~1",
+    "not (a andalso not b)",
+    "(1, (2, 3), ())",
+    "f (op +)",
+]
+
+
+@pytest.mark.parametrize("text", TRICKY_EXPRESSIONS)
+def test_expression_roundtrip(text):
+    original = parse_expression(text)
+    reparsed = parse_expression(pretty_expr(original))
+    assert ast_equal(original, reparsed), pretty_expr(original)
+
+
+TRICKY_TYPES = [
+    "int",
+    "int(n+1)",
+    "'a array(n)",
+    "(int array(m)) array(n)",
+    "int * bool -> unit",
+    "int -> int -> int",
+    "(int -> int) -> int",
+    "{n:nat} 'a array(n) -> int(n)",
+    "{n:nat, i:nat | i < n} 'a array(n) * int(i) -> 'a",
+    "[n:nat | n <= m] 'a list(n)",
+    "{i:int | 0 <= i < n} int(i)",
+    "{a:{x:int | x >= 0}} int(a)",
+    "('a -> bool) -> 'a list(m) -> [n:nat | n <= m] 'a list(n)",
+    "{i:int | i = a div 2 + mod(b, 4) - min(a, b)} int(i)",
+]
+
+
+@pytest.mark.parametrize("text", TRICKY_TYPES)
+def test_type_roundtrip(text):
+    original = parse_type(text)
+    reparsed = parse_type(pretty_type(original))
+    assert ast_equal(original, reparsed), pretty_type(original)
+
+
+def test_program_with_all_declaration_forms():
+    source = """
+datatype 'a tree = LEAF | NODE of 'a tree * 'a * 'a tree
+typeref 'a tree of nat with LEAF <| 'a tree(0)
+  | NODE <| {l:nat, r:nat} 'a tree(l) * 'a * 'a tree(r) -> 'a tree(l+r+1)
+assert weird <| {n:nat} int(n) -> int(n)
+type three = int
+val x = 3
+fun('a){size:nat} f cmp (a, b) = a where f <| ('a * 'a -> order) -> 'a * 'a -> 'a
+fun g(0) = 1 | g(n) = n * g(n - 1)
+"""
+    original = parse_program(source)
+    reparsed = parse_program(pretty_program(original))
+    assert ast_equal(original, reparsed)

@@ -1,0 +1,83 @@
+"""Unit tests for source positions and error rendering."""
+
+from repro.lang.errors import (
+    BoundsError,
+    DMLError,
+    MLTypeError,
+    ParseError,
+    UnsolvedConstraint,
+)
+from repro.lang.source import DUMMY_SPAN, SourceFile, Span
+
+
+class TestSpan:
+    def test_merge(self):
+        assert Span(3, 7).merge(Span(5, 12)) == Span(3, 12)
+        assert Span(5, 12).merge(Span(3, 7)) == Span(3, 12)
+
+    def test_merge_disjoint(self):
+        assert Span(0, 2).merge(Span(10, 12)) == Span(0, 12)
+
+    def test_point(self):
+        assert Span.point(5) == Span(5, 5)
+
+
+class TestSourceFile:
+    SRC = SourceFile("line one\nline two\nline three\n", "test.dml")
+
+    def test_line_col_first_line(self):
+        assert self.SRC.line_col(0) == (1, 1)
+        assert self.SRC.line_col(5) == (1, 6)
+
+    def test_line_col_later_lines(self):
+        assert self.SRC.line_col(9) == (2, 1)
+        assert self.SRC.line_col(18) == (3, 1)
+
+    def test_line_col_clamps(self):
+        line, col = self.SRC.line_col(10_000)
+        assert line >= 3
+
+    def test_line_text(self):
+        assert self.SRC.line_text(2) == "line two"
+        assert self.SRC.line_text(99) == ""
+
+    def test_describe(self):
+        assert self.SRC.describe(Span(9, 13)) == "test.dml:2:1"
+
+    def test_excerpt_caret_position(self):
+        excerpt = self.SRC.excerpt(Span(14, 17))
+        lines = excerpt.splitlines()
+        assert lines[0] == "line two"
+        assert lines[1] == "     ^^^"
+
+    def test_excerpt_multiline_span(self):
+        excerpt = self.SRC.excerpt(Span(5, 25))
+        assert "^" in excerpt
+
+    def test_empty_file(self):
+        src = SourceFile("")
+        assert src.line_col(0) == (1, 1)
+
+
+class TestErrors:
+    def test_render_without_source(self):
+        err = ParseError("bad token", Span(0, 3))
+        assert "ParseError" in err.render()
+        assert "bad token" in err.render()
+
+    def test_render_with_source(self):
+        src = SourceFile("fun f = x", "t.dml")
+        err = MLTypeError("unbound variable", Span(8, 9))
+        rendered = err.render(src)
+        assert "t.dml:1:9" in rendered
+        assert "^" in rendered
+
+    def test_dummy_span_renders_plain(self):
+        err = DMLError("oops", DUMMY_SPAN)
+        src = SourceFile("abc")
+        assert "^" not in err.render(src)
+
+    def test_hierarchy(self):
+        assert issubclass(BoundsError, DMLError)
+        assert issubclass(UnsolvedConstraint, DMLError)
+        assert not issubclass(UnsolvedConstraint, MLTypeError)

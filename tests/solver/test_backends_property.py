@@ -1,0 +1,108 @@
+"""Property-based validation of the decision backends.
+
+Soundness of check elimination rests on one claim: when a backend
+answers ``unsat = True`` the atom set really has no integer solution.
+We validate it against bounded exhaustive search, and cross-check the
+backends against each other where completeness guarantees agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indices.linear import Atom, LinComb
+from repro.solver.bruteforce import find_model
+from repro.solver.fourier import FourierConfig, fourier_unsat
+from repro.solver.omega import OmegaBudgetExceeded, OmegaConfig, omega_sat
+from repro.solver.simplex import simplex_feasible
+
+VARS = ["x", "y", "z"]
+BOUND = 4  # box for the brute-force oracle
+
+
+@st.composite
+def lincombs(draw):
+    coeffs = tuple(
+        (v, draw(st.integers(-3, 3)))
+        for v in VARS
+        if draw(st.booleans())
+    )
+    coeffs = tuple((v, c) for v, c in coeffs if c != 0)
+    const = draw(st.integers(-6, 6))
+    return LinComb(coeffs, const)
+
+
+@st.composite
+def atom_sets(draw):
+    n = draw(st.integers(1, 5))
+    atoms = []
+    for _ in range(n):
+        rel = draw(st.sampled_from([">=", ">=", ">=", "="]))
+        atoms.append(Atom(rel, draw(lincombs())))
+    # Keep every variable inside the oracle box so box-emptiness is
+    # equivalent to global emptiness for the SAT direction checks.
+    for v in VARS:
+        atoms.append(Atom(">=", LinComb.of_var(v, 1) + LinComb.of_const(BOUND)))
+        atoms.append(Atom(">=", LinComb.of_var(v, -1) + LinComb.of_const(BOUND)))
+    return atoms
+
+
+@given(atom_sets())
+@settings(max_examples=150, deadline=None)
+def test_fourier_unsat_is_sound(atoms):
+    """fourier_unsat == True implies no model exists (oracle box is
+    exhaustive because every variable is boxed)."""
+    if fourier_unsat(atoms):
+        assert find_model(atoms, BOUND) is None
+
+
+@given(atom_sets())
+@settings(max_examples=150, deadline=None)
+def test_fourier_without_tightening_is_sound(atoms):
+    config = FourierConfig(integer_tightening=False)
+    if fourier_unsat(atoms, config):
+        assert find_model(atoms, BOUND) is None
+
+
+@given(atom_sets())
+@settings(max_examples=100, deadline=None)
+def test_omega_is_exact(atoms):
+    """The Omega test must agree exactly with exhaustive search."""
+    try:
+        sat = omega_sat(atoms, config=OmegaConfig(max_steps=200_000))
+    except OmegaBudgetExceeded:
+        return
+    model = find_model(atoms, BOUND)
+    assert sat == (model is not None)
+
+
+@given(atom_sets())
+@settings(max_examples=100, deadline=None)
+def test_simplex_sound_and_rationally_complete(atoms):
+    """simplex infeasible => no integer model; integer model =>
+    simplex feasible."""
+    feasible = simplex_feasible(atoms)
+    model = find_model(atoms, BOUND)
+    if model is not None:
+        assert feasible
+    if not feasible:
+        assert model is None
+
+
+@given(atom_sets())
+@settings(max_examples=100, deadline=None)
+def test_fourier_refines_simplex(atoms):
+    """Everything the rational methods refute, the integer-aware
+    Fourier also refutes (tightening only ever strengthens)."""
+    if not simplex_feasible(atoms):
+        assert fourier_unsat(atoms)
+
+
+@given(atom_sets())
+@settings(max_examples=100, deadline=None)
+def test_omega_dominates_fourier(atoms):
+    """The complete backend refutes everything the incomplete one does."""
+    if fourier_unsat(atoms):
+        try:
+            assert not omega_sat(atoms, config=OmegaConfig(max_steps=500_000))
+        except OmegaBudgetExceeded:
+            pass

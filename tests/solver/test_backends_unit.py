@@ -1,0 +1,201 @@
+"""Unit tests for the individual decision backends."""
+
+import pytest
+
+from repro.indices.linear import Atom, LinComb
+from repro.solver.backends import backend_names, get_backend
+from repro.solver.bruteforce import find_model
+from repro.solver.fourier import FourierConfig, FourierStats, fourier_unsat
+from repro.solver.omega import OmegaConfig, OmegaStats, omega_sat, omega_unsat
+from repro.solver.simplex import simplex_feasible, simplex_unsat
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+def ge(lin):
+    return Atom(">=", lin)
+
+
+def eq(lin):
+    return Atom("=", lin)
+
+
+# x >= 1 and x <= -1: plainly unsatisfiable.
+PLAIN_UNSAT = [ge(var("x") + const(-1)), ge(-var("x") + const(-1))]
+# 0 <= x <= 10: plainly satisfiable.
+PLAIN_SAT = [ge(var("x")), ge(-var("x") + const(10))]
+# 2x = 1: integer-unsat, rational-sat.
+PARITY = [eq(var("x", 2) + const(-1))]
+# 2 <= 2x <= 3 i.e. 2x - 2 >= 0 and -2x + 3 >= 0: x = 1 works. SAT.
+TIGHT_SAT = [ge(var("x", 2) + const(-2)), ge(var("x", -2) + const(3))]
+# 3 <= 2x <= 3: rational point x = 1.5 only. Integer UNSAT.
+GAP = [ge(var("x", 2) + const(-3)), ge(var("x", -2) + const(3))]
+# Pugh's classic dark-shadow example: 27 <= 11x + 13y <= 45,
+# -10 <= 7x - 9y <= 4 — no integer solutions, rational ones exist.
+PUGH = [
+    ge(var("x", 11) + var("y", 13) + const(-27)),
+    ge(var("x", -11) + var("y", -13) + const(45)),
+    ge(var("x", 7) + var("y", -9) + const(10)),
+    ge(var("x", -7) + var("y", 9) + const(4)),
+]
+
+
+class TestFourier:
+    def test_plain_unsat(self):
+        assert fourier_unsat(PLAIN_UNSAT)
+
+    def test_plain_sat(self):
+        assert not fourier_unsat(PLAIN_SAT)
+
+    def test_empty_is_sat(self):
+        assert not fourier_unsat([])
+
+    def test_constant_contradiction(self):
+        assert fourier_unsat([ge(const(-1))])
+
+    def test_equality_gcd_contradiction(self):
+        assert fourier_unsat(PARITY)
+
+    def test_gap_requires_tightening(self):
+        assert fourier_unsat(GAP, FourierConfig(integer_tightening=True))
+        assert not fourier_unsat(GAP, FourierConfig(integer_tightening=False))
+
+    def test_tight_sat_not_over_tightened(self):
+        # Tightening must not turn a satisfiable system unsat.
+        assert not fourier_unsat(TIGHT_SAT)
+
+    def test_unit_equality_substitution(self):
+        # x = y + 1, x <= y  =>  unsat
+        system = [
+            eq(var("x") - var("y") + const(-1)),
+            ge(var("y") - var("x")),
+        ]
+        assert fourier_unsat(system)
+
+    def test_transitive_chain(self):
+        # x <= y, y <= z, z <= x - 1 => unsat
+        system = [
+            ge(var("y") - var("x")),
+            ge(var("z") - var("y")),
+            ge(var("x") - var("z") + const(-1)),
+        ]
+        assert fourier_unsat(system)
+
+    def test_stats_populated(self):
+        stats = FourierStats()
+        fourier_unsat(PLAIN_UNSAT, stats=stats)
+        assert stats.eliminations >= 1
+        assert stats.pair_combinations >= 1
+
+    def test_fourier_misses_pugh_example(self):
+        # Documented incompleteness: dark-shadow-style instances
+        # survive Fourier + gcd tightening.
+        assert not fourier_unsat(PUGH)
+
+
+class TestOmega:
+    def test_plain(self):
+        assert omega_unsat(PLAIN_UNSAT)
+        assert not omega_unsat(PLAIN_SAT)
+
+    def test_parity(self):
+        assert omega_unsat(PARITY)
+
+    def test_gap(self):
+        assert omega_unsat(GAP)
+
+    def test_pugh_example_exact(self):
+        assert find_model(PUGH, 12) is None  # sanity: truly no small model
+        assert omega_unsat(PUGH)
+
+    def test_sat_instances_confirmed(self):
+        assert omega_sat(TIGHT_SAT)
+        assert omega_sat(PLAIN_SAT)
+        assert omega_sat([])
+
+    def test_equality_elimination_non_unit(self):
+        # 3x + 5y = 1 has integer solutions (x=2, y=-1). With bounds
+        # 0 <= x <= 1, 0 <= y <= 1 it does not.
+        base = [eq(var("x", 3) + var("y", 5) + const(-1))]
+        assert omega_sat(base)
+        bounded = base + [
+            ge(var("x")),
+            ge(-var("x") + const(1)),
+            ge(var("y")),
+            ge(-var("y") + const(1)),
+        ]
+        assert omega_unsat(bounded)
+
+    def test_budget_reports_unknown(self):
+        config = OmegaConfig(max_steps=1)
+        assert omega_unsat(PUGH, config=config) is False
+
+    def test_stats(self):
+        stats = OmegaStats()
+        omega_unsat(GAP, stats=stats)
+        assert stats.shadow_steps >= 0
+
+
+class TestSimplex:
+    def test_plain(self):
+        assert simplex_unsat(PLAIN_UNSAT)
+        assert not simplex_unsat(PLAIN_SAT)
+
+    def test_rational_blind_spot(self):
+        # Complete for rationals only: parity and gap instances pass.
+        assert simplex_feasible(PARITY)
+        assert simplex_feasible(GAP)
+        assert simplex_feasible(PUGH)
+
+    def test_empty(self):
+        assert simplex_feasible([])
+
+    def test_equalities(self):
+        system = [eq(var("x") - var("y")), ge(var("x") + const(-3)), ge(-var("y"))]
+        # x = y, x >= 3, y <= 0: infeasible even rationally.
+        assert simplex_unsat(system)
+
+    def test_degenerate_constant_rows(self):
+        assert simplex_feasible([ge(const(0))])
+        assert simplex_unsat([ge(const(-2))])
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(backend_names()) == {
+            "fourier",
+            "fourier-rational",
+            "omega",
+            "simplex",
+            "interval",
+        }
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("z3")
+
+    def test_all_backends_agree_on_plain_instances(self):
+        for name in backend_names():
+            backend = get_backend(name)
+            assert backend.unsat(PLAIN_UNSAT), name
+            assert not backend.unsat(PLAIN_SAT), name
+
+    def test_completeness_flags(self):
+        assert get_backend("omega").integer_complete
+        assert not get_backend("fourier").integer_complete
+
+
+class TestBruteforce:
+    def test_finds_model(self):
+        model = find_model(PLAIN_SAT, 10)
+        assert model is not None
+        assert 0 <= model["x"] <= 10
+
+    def test_no_model_in_box(self):
+        assert find_model(PLAIN_UNSAT, 10) is None

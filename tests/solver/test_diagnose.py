@@ -1,0 +1,91 @@
+"""Tests for counterexample-based error diagnostics."""
+
+from repro import api
+from repro.indices import terms
+from repro.indices.sorts import INT, NAT
+from repro.indices.terms import EvarStore, IConst, IVar
+from repro.solver.diagnose import explain_failures, find_counterexample
+from repro.solver.simplify import Goal
+
+
+class TestFindCounterexample:
+    def test_simple_violation(self):
+        # forall i:int. i >= 0 is refuted by any negative i.
+        goal = Goal({"i": INT}, [], terms.cmp(">=", IVar("i"), IConst(0)))
+        ce = find_counterexample(goal, EvarStore())
+        assert ce is not None
+        assert ce.assignment["i"] < 0
+
+    def test_respects_hypotheses(self):
+        # forall i:nat. i < 10 fails only for i >= 10 (and i >= 0).
+        goal = Goal({"i": NAT}, [], terms.cmp("<", IVar("i"), IConst(10)))
+        ce = find_counterexample(goal, EvarStore())
+        assert ce is not None
+        assert ce.assignment["i"] >= 10
+
+    def test_valid_goal_has_no_counterexample(self):
+        goal = Goal({"i": NAT}, [], terms.cmp(">=", IVar("i"), IConst(0)))
+        assert find_counterexample(goal, EvarStore()) is None
+
+    def test_hypothesis_constrained(self):
+        # i < n /\ i >= 0 ==> i < n - 1 fails exactly at i = n - 1.
+        goal = Goal(
+            {"i": NAT, "n": NAT},
+            [terms.cmp("<", IVar("i"), IVar("n"))],
+            terms.cmp("<", IVar("i"), terms.isub(IVar("n"), IConst(1))),
+        )
+        ce = find_counterexample(goal, EvarStore())
+        assert ce is not None
+        assert ce.assignment["i"] == ce.assignment["n"] - 1
+
+    def test_div_counterexample(self):
+        # n div 2 < n fails at n = 0.
+        half = terms.BinOp("div", IVar("n"), IConst(2))
+        goal = Goal({"n": NAT}, [], terms.cmp("<", half, IVar("n")))
+        ce = find_counterexample(goal, EvarStore())
+        assert ce is not None
+        assert ce.assignment["n"] == 0
+
+    def test_internal_variables_hidden(self):
+        # Counterexamples never mention the $q/$m elimination variables.
+        half = terms.BinOp("div", IVar("n"), IConst(2))
+        goal = Goal({"n": NAT}, [], terms.cmp("<", half, IVar("n")))
+        ce = find_counterexample(goal, EvarStore())
+        assert all(not name.startswith("$") for name in ce.assignment)
+
+    def test_describe(self):
+        goal = Goal({"i": INT}, [], terms.cmp(">=", IVar("i"), IConst(0)))
+        ce = find_counterexample(goal, EvarStore())
+        assert "i = " in ce.describe()
+
+
+class TestExplainFailures:
+    def test_out_of_bounds_scenario(self):
+        report = api.check(
+            "fun f(a, i) = sub(a, i) "
+            "where f <| {n:nat} {i:nat | i <= n} 'a array(n) * int(i) -> 'a",
+            "<t>",
+        )
+        assert not report.all_proved
+        lines = report.explain()
+        assert lines
+        # The i = n boundary case is the classic off-by-one witness.
+        assert any("fails when" in line for line in lines)
+
+    def test_no_failures_no_lines(self):
+        report = api.check(
+            "fun f(a) = sub(a, 0) "
+            "where f <| {n:nat | n > 0} 'a array(n) -> 'a",
+            "<t>",
+        )
+        assert report.explain() == []
+
+    def test_nonlinear_goal_reported_without_counterexample(self):
+        report = api.check(
+            "fun f(a, i) = sub(a, i * i) "
+            "where f <| {n:nat} {i:nat | i * i < n} "
+            "int array(n) * int(i) -> int",
+            "<t>",
+        )
+        lines = report.explain()
+        assert lines  # explained, even if no model could be sought

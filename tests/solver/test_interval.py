@@ -1,0 +1,151 @@
+"""Unit and property tests for the interval (bounds propagation) backend."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indices.linear import Atom, LinComb
+from repro.solver.bruteforce import find_model
+from repro.solver.fourier import fourier_unsat
+from repro.solver.interval import IntervalStats, interval_unsat
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+def ge(lin):
+    return Atom(">=", lin)
+
+
+def eq(lin):
+    return Atom("=", lin)
+
+
+class TestInterval:
+    def test_plain_unsat(self):
+        assert interval_unsat([ge(var("x") + const(-1)),
+                               ge(-var("x") + const(-1))])
+
+    def test_plain_sat(self):
+        assert not interval_unsat([ge(var("x")), ge(-var("x") + const(10))])
+
+    def test_constant_contradiction(self):
+        assert interval_unsat([ge(const(-3))])
+
+    def test_empty(self):
+        assert not interval_unsat([])
+
+    def test_integer_rounding(self):
+        # 3 <= 2x <= 3 has no integer solution: ceil(3/2)=2 > floor(3/2)=1.
+        assert interval_unsat([
+            ge(var("x", 2) + const(-3)),
+            ge(var("x", -2) + const(3)),
+        ])
+
+    def test_propagation_through_two_constraints(self):
+        # x >= 5, y >= x  =>  y >= 5; with y <= 3: unsat.
+        assert interval_unsat([
+            ge(var("x") + const(-5)),
+            ge(var("y") - var("x")),
+            ge(-var("y") + const(3)),
+        ])
+
+    def test_equalities(self):
+        assert interval_unsat([eq(var("x") + const(-2)),
+                               ge(var("x") + const(-5))])
+
+    def test_known_weakness_no_transitive_combination(self):
+        # x <= y /\ y <= z /\ z <= x - 1: unsat, but every variable is
+        # unbounded individually, so bounds propagation never fires.
+        system = [
+            ge(var("y") - var("x")),
+            ge(var("z") - var("y")),
+            ge(var("x") - var("z") + const(-1)),
+        ]
+        assert fourier_unsat(system)  # Fourier sees it...
+        assert not interval_unsat(system)  # ...interval does not.
+
+    def test_divergent_system_terminates(self):
+        # x >= y + 1 and y >= x + 1: unsat, but bounds only creep; the
+        # pass cap makes the backend give up (sound: reports unknown).
+        system = [
+            ge(var("x") - var("y") + const(-1)),
+            ge(var("y") - var("x") + const(-1)),
+        ]
+        result = interval_unsat(system, max_passes=16)
+        assert result in (True, False)  # must terminate either way
+
+    def test_stats(self):
+        stats = IntervalStats()
+        interval_unsat([ge(var("x") + const(-1)), ge(-var("x") + const(-1))],
+                       stats=stats)
+        assert stats.tightenings >= 1
+
+
+VARS = ["x", "y"]
+
+
+@st.composite
+def atom_sets(draw):
+    atoms = []
+    for _ in range(draw(st.integers(1, 4))):
+        coeffs = tuple(
+            (v, draw(st.integers(-3, 3))) for v in VARS if draw(st.booleans())
+        )
+        coeffs = tuple((v, c) for v, c in coeffs if c != 0)
+        rel = draw(st.sampled_from([">=", ">=", "="]))
+        atoms.append(Atom(rel, LinComb(coeffs, draw(st.integers(-5, 5)))))
+    for v in VARS:  # box for the oracle
+        atoms.append(ge(var(v) + const(4)))
+        atoms.append(ge(var(v, -1) + const(4)))
+    return atoms
+
+
+@given(atom_sets())
+@settings(max_examples=120, deadline=None)
+def test_interval_is_sound(atoms):
+    """interval_unsat == True implies the boxed system has no model."""
+    if interval_unsat(atoms):
+        assert find_model(atoms, 4) is None
+
+
+@given(atom_sets())
+@settings(max_examples=80, deadline=None)
+def test_interval_and_fourier_agree_with_oracle(atoms):
+    """Neither incomplete backend may refute a satisfiable system.
+
+    Note: tightened Fourier does NOT dominate interval propagation —
+    the gcd rounding fires on whatever intermediate inequalities the
+    chosen elimination order produces, so each backend refutes some
+    integer-unsat systems the other misses (e.g. ``2x + 3y = -1,
+    2y = 0`` is caught by interval's per-constraint ceil/floor but
+    missed by Fourier when it eliminates x first).  Both must simply
+    be sound.
+    """
+    interval_says = interval_unsat(atoms)
+    fourier_says = fourier_unsat(atoms)
+    if interval_says or fourier_says:
+        assert find_model(atoms, 4) is None
+
+
+def test_fourier_order_dependence_documented():
+    """The concrete instance where interval beats tightened Fourier:
+    2x + 3y + 1 = 0 and y = 0 (stated as 2y = 0) in a box."""
+    atoms = [
+        Atom("=", LinComb((("x", 2), ("y", 3)), 1)),
+        Atom("=", LinComb((("y", 2),), 0)),
+        ge(var("x") + const(4)),
+        ge(var("x", -1) + const(4)),
+        ge(var("y") + const(4)),
+        ge(var("y", -1) + const(4)),
+    ]
+    assert find_model(atoms, 4) is None  # truly integer-unsat
+    assert interval_unsat(atoms)  # per-constraint rounding: y=0, 2x=-1
+    assert not fourier_unsat(atoms)  # eliminates x first, loses parity
+    from repro.solver.omega import omega_unsat
+
+    assert omega_unsat(atoms)  # the complete backend agrees with the oracle

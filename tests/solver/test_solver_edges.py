@@ -1,0 +1,180 @@
+"""Edge cases and internals of the decision backends."""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.linear import Atom, LinComb
+from repro.indices.sorts import INT
+from repro.indices.terms import EvarStore, IConst, IVar
+from repro.solver.backends import get_backend
+from repro.solver.fourier import FourierConfig, FourierStats, fourier_unsat
+from repro.solver.omega import OmegaStats, omega_sat, omega_unsat
+from repro.solver.simplify import Goal, UnsupportedGoal, prove_goal
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+def ge(lin):
+    return Atom(">=", lin)
+
+
+def eq(lin):
+    return Atom("=", lin)
+
+
+class TestFourierInternals:
+    def test_inequality_budget_gives_up_gracefully(self):
+        # A dense all-pairs system explodes combinatorially; with a
+        # tiny budget the solver must return "unknown", never raise.
+        atoms = []
+        names = [f"x{i}" for i in range(8)]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                atoms.append(ge(var(a) - var(b) + const(3)))
+                atoms.append(ge(var(b) - var(a) + const(3)))
+        config = FourierConfig(max_inequalities=16)
+        assert fourier_unsat(atoms, config) in (True, False)
+
+    def test_elimination_budget(self):
+        atoms = [ge(var("x") + var("y") + const(-1)),
+                 ge(-var("x") - var("y") + const(-1))]
+        config = FourierConfig(max_eliminations=0)
+        assert fourier_unsat(atoms, config) is False  # gave up
+        assert fourier_unsat(atoms) is True
+
+    def test_equality_only_system(self):
+        # x = 3, y = x, y = 4: contradiction found purely by
+        # unit-equality substitution, no FM pass needed.
+        atoms = [
+            eq(var("x") + const(-3)),
+            eq(var("y") - var("x")),
+            eq(var("y") + const(-4)),
+        ]
+        stats = FourierStats()
+        assert fourier_unsat(atoms, stats=stats)
+        assert stats.eliminations == 0
+
+    def test_tightening_counter(self):
+        stats = FourierStats()
+        # 3 <= 2x <= 3 forces a genuine constant rounding.
+        fourier_unsat(
+            [ge(var("x", 2) + const(-3)), ge(var("x", -2) + const(3))],
+            stats=stats,
+        )
+        assert stats.tightenings >= 1
+
+    def test_redundant_constraints_harmless(self):
+        atoms = [ge(var("x"))] * 10 + [ge(-var("x") + const(5))] * 10
+        assert not fourier_unsat(atoms)
+
+    def test_zero_coefficient_variable_ignored(self):
+        atoms = [ge(LinComb((("x", 0),), 5) if False else const(5))]
+        assert not fourier_unsat([ge(const(5))])
+
+
+class TestOmegaInternals:
+    def test_splinter_path_exercised(self):
+        # Pugh's example requires the splinter search.
+        stats = OmegaStats()
+        atoms = [
+            ge(var("x", 11) + var("y", 13) + const(-27)),
+            ge(var("x", -11) + var("y", -13) + const(45)),
+            ge(var("x", 7) + var("y", -9) + const(10)),
+            ge(var("x", -7) + var("y", 9) + const(4)),
+        ]
+        assert omega_unsat(atoms, stats=stats)
+        assert stats.splinters > 0
+
+    def test_unit_coefficients_never_splinter(self):
+        stats = OmegaStats()
+        atoms = [
+            ge(var("x") - var("y")),
+            ge(var("y") - var("z")),
+            ge(var("z") - var("x") + const(-1)),
+        ]
+        assert omega_unsat(atoms, stats=stats)
+        assert stats.splinters == 0
+
+    def test_three_variable_equality_chain(self):
+        # 6x + 10y + 15z = 1 is solvable (gcd 1); adding small boxes
+        # can make it unsatisfiable.
+        base = [eq(var("x", 6) + var("y", 10) + var("z", 15) + const(-1))]
+        assert omega_sat(base)
+        boxed = base + [
+            ge(var(v) + const(0)) for v in "xyz"
+        ] + [ge(-var(v) + const(0)) for v in "xyz"]  # all forced to 0
+        assert omega_unsat(boxed)
+
+    def test_unbounded_direction_drops_variable(self):
+        # y only bounded below: projected away, leaving x's box.
+        atoms = [
+            ge(var("y") - var("x")),
+            ge(var("x") + const(-3)),
+            ge(-var("x") + const(-5)),  # x <= -5 contradicts x >= 3
+        ]
+        assert omega_unsat(atoms)
+
+
+class TestProveGoalEdges:
+    def test_case_explosion_guard(self):
+        # A conclusion with dozens of disequalities fans out; the
+        # prover must fail closed, not hang.
+        store = EvarStore()
+        disjuncts = terms.FALSE
+        for k in range(14):
+            disjuncts = terms.bor(
+                disjuncts,
+                terms.band(
+                    terms.cmp("<>", IVar("x"), IConst(k)),
+                    terms.cmp("<>", IVar("y"), IConst(k)),
+                ),
+            )
+        goal = Goal({"x": INT, "y": INT}, [disjuncts], terms.FALSE)
+        result = prove_goal(goal, store, get_backend("fourier"))
+        assert result.proved in (True, False)  # terminates
+
+    def test_sgn_case_split_count(self):
+        store = EvarStore()
+        s = terms.isgn(IVar("x"))
+        goal = Goal({"x": INT}, [],
+                    terms.band(terms.cmp(">=", s, IConst(-1)),
+                               terms.cmp("<=", s, IConst(1))))
+        result = prove_goal(goal, store, get_backend("fourier"))
+        assert result.proved
+        assert result.cases >= 3  # the three sign cases
+
+    def test_min_of_same_variable(self):
+        store = EvarStore()
+        m = terms.imin(IVar("x"), IVar("x"))
+        goal = Goal({"x": INT}, [], terms.cmp("=", m, IVar("x")))
+        assert prove_goal(goal, store, get_backend("fourier")).proved
+
+    def test_shared_div_subterm_cached(self):
+        # The same div occurrence twice must use one quotient variable,
+        # or x div 2 = x div 2 would be unprovable.
+        store = EvarStore()
+        half = terms.BinOp("div", IVar("x"), IConst(2))
+        goal = Goal({"x": INT}, [], terms.cmp("=", half, half))
+        assert prove_goal(goal, store, get_backend("fourier")).proved
+
+    def test_mod_by_negative_constant(self):
+        # SML mod with negative divisor yields results in (divisor, 0].
+        store = EvarStore()
+        r = terms.BinOp("mod", IVar("x"), IConst(-3))
+        goal = Goal({"x": INT}, [],
+                    terms.band(terms.cmp("<=", r, IConst(0)),
+                               terms.cmp(">", r, IConst(-3))))
+        assert prove_goal(goal, store, get_backend("fourier")).proved
+
+    @pytest.mark.parametrize("backend_name",
+                             ["fourier", "omega", "simplex", "interval"])
+    def test_all_backends_handle_empty_hyps(self, backend_name):
+        store = EvarStore()
+        goal = Goal({}, [], terms.cmp("<", IConst(1), IConst(2)))
+        assert prove_goal(goal, store, get_backend(backend_name)).proved

@@ -1,0 +1,94 @@
+"""Tests for the public pipeline API."""
+
+import pytest
+
+from repro import api
+from repro.lang.errors import UnsolvedConstraint
+from repro.solver.backends import get_backend
+
+GOOD = (
+    "fun f(a) = sub(a, 0) "
+    "where f <| {n:nat | n > 0} 'a array(n) -> 'a"
+)
+BAD = "fun f(a, i) = sub(a, i)"
+
+
+class TestCheck:
+    def test_good_program(self):
+        report = api.check(GOOD)
+        assert report.all_proved
+        assert report.failed_goals == []
+        assert report.num_constraints > 0
+        assert report.generation_seconds > 0
+        assert report.solve_seconds >= 0
+
+    def test_bad_program(self):
+        report = api.check(BAD)
+        assert not report.all_proved
+        assert report.failed_goals
+        assert report.eliminable_sites() == set()
+
+    def test_summary_mentions_unsolved(self):
+        report = api.check(BAD)
+        assert "UNSOLVED" in report.summary()
+
+    def test_summary_good(self):
+        text = api.check(GOOD).summary()
+        assert "1 eliminable" in text
+
+    def test_raise_if_failed(self):
+        api.check(GOOD).raise_if_failed()
+        with pytest.raises(UnsolvedConstraint):
+            api.check(BAD).raise_if_failed()
+
+    def test_backend_by_name_and_object(self):
+        assert api.check(GOOD, backend="omega").all_proved
+        assert api.check(GOOD, backend=get_backend("simplex")).all_proved
+
+    def test_without_prelude_rejects_builtins(self):
+        from repro.lang.errors import MLTypeError
+
+        with pytest.raises(MLTypeError):
+            api.check("fun f(a) = sub(a, 0)", include_prelude=False)
+
+    def test_without_prelude_pure_program(self):
+        report = api.check(
+            "datatype t = A | B fun f(A) = B | f(B) = A",
+            include_prelude=False,
+        )
+        assert report.all_proved
+
+    def test_site_proved_per_site(self):
+        report = api.check(
+            GOOD + " fun g(a, i) = sub(a, i)"
+        )
+        proved = [s for s in report.sites if report.site_proved(s)]
+        unproved = [s for s in report.sites if not report.site_proved(s)]
+        assert len(proved) == 1 and len(unproved) == 1
+
+    def test_check_corpus(self):
+        report = api.check_corpus("dotprod")
+        assert report.name == "dotprod.dml"
+        assert report.all_proved
+
+    def test_check_corpus_unknown(self):
+        with pytest.raises(FileNotFoundError):
+            api.check_corpus("does-not-exist")
+
+
+class TestEliminationPlan:
+    def test_plan_good(self):
+        from repro.compile.elim import plan_elimination
+
+        plan = plan_elimination(api.check(GOOD))
+        assert plan.program_proved
+        assert len(plan.unchecked) == 1
+        assert plan.bound_sites and not plan.tag_sites
+        assert "1 of 1" in plan.summary()
+
+    def test_plan_bad_is_fail_closed(self):
+        from repro.compile.elim import plan_elimination
+
+        plan = plan_elimination(api.check(BAD))
+        assert not plan.program_proved
+        assert plan.unchecked == set()

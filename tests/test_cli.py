@@ -1,0 +1,152 @@
+"""Tests for the ``dml`` command line interface."""
+
+import pytest
+
+from repro.cli import _parse_value, main
+from repro.eval.values import ConV, from_pylist
+
+GOOD = (
+    "fun f(a) = sub(a, 0) "
+    "where f <| {n:nat | n > 0} 'a array(n) -> 'a\n"
+)
+BAD = "fun f(a, i) = sub(a, i)\n"
+
+
+@pytest.fixture()
+def good_file(tmp_path):
+    path = tmp_path / "good.dml"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture()
+def bad_file(tmp_path):
+    path = tmp_path / "bad.dml"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestArgumentLiterals:
+    def test_ints_and_bools(self):
+        assert _parse_value("42") == 42
+        assert _parse_value("-3") == -3
+        assert _parse_value("true") is True
+        assert _parse_value("false") is False
+        assert _parse_value("()") == ()
+
+    def test_array(self):
+        assert _parse_value("[|1, 2, 3|]") == [1, 2, 3]
+        assert _parse_value("[||]") == []
+
+    def test_list(self):
+        assert _parse_value("[1, 2]") == from_pylist([1, 2])
+        assert _parse_value("[]") == from_pylist([])
+
+    def test_tuple(self):
+        assert _parse_value("(1, true)") == (1, True)
+
+    def test_nested(self):
+        assert _parse_value("([|1, 2|], [3], (4, 5))") == (
+            [1, 2],
+            from_pylist([3]),
+            (4, 5),
+        )
+
+
+class TestCommands:
+    def test_check_good(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "proof goals" in capsys.readouterr().out
+
+    def test_check_bad(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        assert "UNSOLVED" in capsys.readouterr().out
+
+    def test_check_backend_flag(self, good_file):
+        assert main(["check", good_file, "--backend", "omega"]) == 0
+
+    def test_check_unknown_backend(self, good_file):
+        with pytest.raises(ValueError):
+            main(["check", good_file, "--backend", "nope"])
+
+    def test_goals(self, good_file, capsys):
+        assert main(["goals", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "solved" in out
+
+    def test_goals_bad(self, bad_file, capsys):
+        assert main(["goals", bad_file]) == 1
+        assert "UNSOLVED" in capsys.readouterr().out
+
+    def test_compile_to_stdout(self, good_file, capsys):
+        assert main(["compile", good_file]) == 0
+        assert "def d_f" in capsys.readouterr().out
+
+    def test_compile_to_file(self, good_file, tmp_path, capsys):
+        out = tmp_path / "gen.py"
+        assert main(["compile", good_file, "-o", str(out)]) == 0
+        assert "def d_f" in out.read_text()
+        assert "1/1 checks eliminated" in capsys.readouterr().out
+
+    def test_run(self, good_file, capsys):
+        assert main(["run", good_file, "f", "[|7, 8|]"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_run_always_check(self, good_file, capsys):
+        assert main(["run", good_file, "f", "[|7|]", "--always-check"]) == 0
+        err = capsys.readouterr().err
+        assert "1 performed" in err
+
+    def test_run_eliminated(self, good_file, capsys):
+        main(["run", good_file, "f", "[|7|]"])
+        assert "1 eliminated" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent/x.dml"]) == 2
+
+    def test_parse_error_rendered(self, tmp_path, capsys):
+        path = tmp_path / "syntax.dml"
+        path.write_text("fun = 3")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_curried_entry(self, tmp_path, capsys):
+        path = tmp_path / "curry.dml"
+        path.write_text("fun add x y = x + y\n")
+        assert main(["run", str(path), "add", "2", "40"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_fmt_roundtrips(self, good_file, capsys):
+        assert main(["fmt", good_file]) == 0
+        formatted = capsys.readouterr().out
+        # The output re-parses and re-checks identically.
+        from repro import api
+
+        report = api.check(formatted, "<fmt>")
+        assert report.all_proved
+
+    def test_fmt_in_place(self, good_file, capsys):
+        assert main(["fmt", good_file, "-i"]) == 0
+        from pathlib import Path
+
+        assert "fun" in Path(good_file).read_text()
+
+    def test_certify_valid(self, good_file, capsys):
+        assert main(["certify", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "safety certificate" in out
+        assert "VALID" in out
+
+    def test_certify_refuses_unsafe(self, bad_file, capsys):
+        assert main(["certify", bad_file]) == 1
+        assert "cannot certify" in capsys.readouterr().err
+
+    def test_run_list_result_rendering(self, tmp_path, capsys):
+        path = tmp_path / "lists.dml"
+        path.write_text(
+            "fun rev2(nil, ys) = ys | rev2(x::xs, ys) = rev2(xs, x::ys) "
+            "where rev2 <| {m:nat} {n:nat} 'a list(m) * 'a list(n) "
+            "-> 'a list(m+n)\n"
+        )
+        assert main(["run", str(path), "rev2", "([1, 2, 3], [])"]) == 0
+        assert capsys.readouterr().out.strip() == "[3, 2, 1]"

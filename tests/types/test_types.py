@@ -1,0 +1,159 @@
+"""Unit tests for the dependent type representation."""
+
+from repro.indices import terms
+from repro.indices.sorts import INT, NAT
+from repro.indices.terms import IConst, IVar
+from repro.types import types as dt
+
+
+def int_n(name):
+    return dt.int_of(IVar(name))
+
+
+class TestConstruction:
+    def test_str_base(self):
+        assert str(dt.int_of(IConst(5))) == "int(5)"
+
+    def test_str_array(self):
+        ty = dt.array_of(dt.some_int(), IVar("n"))
+        assert "array(n)" in str(ty)
+
+    def test_str_pi(self):
+        ty = dt.DPi((("n", NAT),), terms.TRUE, int_n("n"))
+        assert str(ty).startswith("{n:")
+
+    def test_str_sig_with_guard(self):
+        guard = terms.cmp("<=", IVar("k"), IVar("m"))
+        ty = dt.DSig((("k", NAT),), guard, int_n("k"))
+        assert "| k <= m" in str(ty)
+
+    def test_unit(self):
+        assert str(dt.UNIT) == "unit"
+
+    def test_scheme_str(self):
+        scheme = dt.DScheme(("'a",), dt.DTyVar("'a"))
+        assert "forall 'a" in str(scheme)
+
+
+class TestTraversals:
+    def test_free_tyvars(self):
+        ty = dt.DArrow(dt.DTyVar("'a"), dt.DTuple((dt.DTyVar("'b"),)))
+        assert dt.free_tyvars(ty) == {"'a", "'b"}
+
+    def test_free_index_vars_simple(self):
+        assert dt.free_index_vars(int_n("n")) == {"n"}
+
+    def test_free_index_vars_respects_binders(self):
+        inner = dt.int_of(terms.iadd(IVar("n"), IVar("m")))
+        ty = dt.DPi((("n", INT),), terms.TRUE, inner)
+        assert dt.free_index_vars(ty) == {"m"}
+
+    def test_free_index_vars_in_guard(self):
+        guard = terms.cmp("<", IVar("n"), IVar("outer"))
+        ty = dt.DSig((("n", INT),), guard, int_n("n"))
+        assert dt.free_index_vars(ty) == {"outer"}
+
+    def test_free_metas(self):
+        store = dt.MetaStore()
+        meta = store.fresh()
+        ty = dt.DArrow(meta, dt.UNIT)
+        assert dt.free_metas(ty) == {meta}
+
+
+class TestSubstitution:
+    def test_subst_index(self):
+        ty = dt.array_of(dt.some_int(), IVar("n"))
+        result = dt.subst_index(ty, {"n": IConst(5)})
+        assert isinstance(result, dt.DBase)
+        assert result.iargs == (IConst(5),)
+
+    def test_subst_index_shadowed_by_binder(self):
+        ty = dt.DPi((("n", INT),), terms.TRUE, int_n("n"))
+        result = dt.subst_index(ty, {"n": IConst(5)})
+        assert result == ty  # bound n untouched
+
+    def test_subst_index_in_guard(self):
+        guard = terms.cmp("<", IVar("i"), IVar("n"))
+        ty = dt.DPi((("i", INT),), guard, int_n("i"))
+        result = dt.subst_index(ty, {"n": IConst(9)})
+        assert isinstance(result, dt.DPi)
+        assert str(result.guard) == "i < 9"
+
+    def test_subst_tyvars(self):
+        ty = dt.DArrow(dt.DTyVar("'a"), dt.DTyVar("'b"))
+        result = dt.subst_tyvars(ty, {"'a": dt.some_int()})
+        assert isinstance(result.dom, dt.DSig)
+        assert result.cod == dt.DTyVar("'b")
+
+    def test_subst_tyvars_inside_base(self):
+        ty = dt.array_of(dt.DTyVar("'a"), IVar("n"))
+        result = dt.subst_tyvars(ty, {"'a": dt.UNIT})
+        assert result.tyargs == (dt.UNIT,)
+
+
+class TestRenameBindersFresh:
+    def test_no_collision_keeps_names(self):
+        binders, guard, body = dt.rename_binders_fresh(
+            (("n", NAT),), terms.TRUE, int_n("n"), taken=set()
+        )
+        assert binders[0][0] == "n"
+        assert body == int_n("n")
+
+    def test_collision_renames_consistently(self):
+        guard = terms.cmp(">=", IVar("n"), IConst(0))
+        binders, new_guard, body = dt.rename_binders_fresh(
+            (("n", NAT),), guard, int_n("n"), taken={"n"}
+        )
+        fresh = binders[0][0]
+        assert fresh != "n"
+        assert str(new_guard) == f"{fresh} >= 0"
+        assert body == int_n(fresh)
+
+    def test_multiple_binders(self):
+        binders, _, body = dt.rename_binders_fresh(
+            (("m", NAT), ("n", NAT)),
+            terms.TRUE,
+            dt.int_of(terms.iadd(IVar("m"), IVar("n"))),
+            taken={"m", "n"},
+        )
+        m2, n2 = binders[0][0], binders[1][0]
+        assert m2 != "m" and n2 != "n" and m2 != n2
+        assert dt.free_index_vars(body) == {m2, n2}
+
+
+class TestMetaStore:
+    def test_fresh_distinct(self):
+        store = dt.MetaStore()
+        assert store.fresh() != store.fresh()
+
+    def test_solve_and_resolve(self):
+        store = dt.MetaStore()
+        meta = store.fresh()
+        assert store.solve(meta, dt.UNIT)
+        assert store.resolve(meta) == dt.UNIT
+
+    def test_occurs_check(self):
+        store = dt.MetaStore()
+        meta = store.fresh()
+        assert not store.solve(meta, dt.DArrow(meta, dt.UNIT))
+
+    def test_no_double_solve(self):
+        store = dt.MetaStore()
+        meta = store.fresh()
+        assert store.solve(meta, dt.UNIT)
+        assert not store.solve(meta, dt.some_int())
+
+    def test_resolve_chases_chains(self):
+        store = dt.MetaStore()
+        a, b = store.fresh(), store.fresh()
+        store.solve(a, b)
+        store.solve(b, dt.UNIT)
+        assert store.resolve(a) == dt.UNIT
+
+    def test_resolve_descends_structure(self):
+        store = dt.MetaStore()
+        meta = store.fresh()
+        store.solve(meta, dt.UNIT)
+        ty = dt.DTuple((meta, dt.DArrow(meta, meta)))
+        resolved = store.resolve(ty)
+        assert resolved == dt.DTuple((dt.UNIT, dt.DArrow(dt.UNIT, dt.UNIT)))

@@ -1,0 +1,167 @@
+"""Unit tests for ML unification and dependent-type erasure."""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.sorts import NAT
+from repro.indices.terms import IVar
+from repro.lang.errors import MLTypeError
+from repro.types import erasure
+from repro.types import mltype as ml
+from repro.types import types as dt
+from repro.types.unify import Unifier
+
+
+class TestUnifier:
+    def test_unify_identical(self):
+        u = Unifier()
+        u.unify(ml.INT, ml.INT)
+
+    def test_unify_var_to_con(self):
+        u = Unifier()
+        v = u.fresh()
+        u.unify(v, ml.INT)
+        assert u.resolve(v) == ml.INT
+
+    def test_unify_symmetric(self):
+        u = Unifier()
+        v = u.fresh()
+        u.unify(ml.BOOL, v)
+        assert u.resolve(v) == ml.BOOL
+
+    def test_unify_var_chains(self):
+        u = Unifier()
+        a, b, c = u.fresh(), u.fresh(), u.fresh()
+        u.unify(a, b)
+        u.unify(b, c)
+        u.unify(c, ml.INT)
+        assert u.resolve(a) == ml.INT
+
+    def test_structure(self):
+        u = Unifier()
+        a, b = u.fresh(), u.fresh()
+        u.unify(ml.MLArrow(a, ml.BOOL), ml.MLArrow(ml.INT, b))
+        assert u.resolve(a) == ml.INT
+        assert u.resolve(b) == ml.BOOL
+
+    def test_tuples(self):
+        u = Unifier()
+        a = u.fresh()
+        u.unify(ml.MLTuple((a, ml.INT)), ml.MLTuple((ml.BOOL, ml.INT)))
+        assert u.resolve(a) == ml.BOOL
+
+    def test_con_args(self):
+        u = Unifier()
+        a = u.fresh()
+        u.unify(ml.MLCon("list", (a,)), ml.MLCon("list", (ml.INT,)))
+        assert u.resolve(a) == ml.INT
+
+    def test_mismatch_cons(self):
+        u = Unifier()
+        with pytest.raises(MLTypeError):
+            u.unify(ml.INT, ml.BOOL)
+
+    def test_mismatch_arity(self):
+        u = Unifier()
+        with pytest.raises(MLTypeError):
+            u.unify(ml.MLTuple((ml.INT,)), ml.MLTuple((ml.INT, ml.INT)))
+
+    def test_mismatch_shape(self):
+        u = Unifier()
+        with pytest.raises(MLTypeError):
+            u.unify(ml.MLArrow(ml.INT, ml.INT), ml.MLTuple((ml.INT, ml.INT)))
+
+    def test_occurs_check(self):
+        u = Unifier()
+        v = u.fresh()
+        with pytest.raises(MLTypeError):
+            u.unify(v, ml.MLArrow(v, ml.INT))
+
+    def test_occurs_check_indirect(self):
+        u = Unifier()
+        a, b = u.fresh(), u.fresh()
+        u.unify(a, ml.MLArrow(b, ml.INT))
+        with pytest.raises(MLTypeError):
+            u.unify(b, a)
+
+    def test_rigid_vs_rigid(self):
+        u = Unifier()
+        with pytest.raises(MLTypeError):
+            u.unify(ml.MLRigid("'a"), ml.MLRigid("'b"))
+        u.unify(ml.MLRigid("'a"), ml.MLRigid("'a"))
+
+
+class TestSchemes:
+    def test_instantiate_fresh_per_use(self):
+        u = Unifier()
+        scheme = ml.MLScheme(("'a",), ml.MLArrow(ml.MLRigid("'a"), ml.MLRigid("'a")))
+        t1 = u.instantiate(scheme)
+        t2 = u.instantiate(scheme)
+        # Solving one instance must not constrain the other.
+        u.unify(t1, ml.MLArrow(ml.INT, ml.INT))
+        u.unify(t2, ml.MLArrow(ml.BOOL, ml.BOOL))
+
+    def test_instantiate_mono(self):
+        u = Unifier()
+        scheme = ml.MLScheme.mono(ml.INT)
+        assert u.instantiate(scheme) == ml.INT
+
+    def test_generalize(self):
+        u = Unifier()
+        v = u.fresh()
+        scheme = u.generalize(ml.MLArrow(v, v), set())
+        assert scheme.tyvars == ("'a",)
+        assert scheme.body == ml.MLArrow(ml.MLRigid("'a"), ml.MLRigid("'a"))
+
+    def test_generalize_respects_env(self):
+        u = Unifier()
+        v = u.fresh()
+        scheme = u.generalize(ml.MLArrow(v, v), {v})
+        assert scheme.tyvars == ()
+
+    def test_generalize_mixed(self):
+        u = Unifier()
+        a, b = u.fresh(), u.fresh()
+        scheme = u.generalize(ml.MLArrow(a, b), {a})
+        assert scheme.tyvars == ("'a",)
+        assert isinstance(scheme.body.dom, ml.MLVar)
+
+
+class TestErasure:
+    def test_erase_base(self):
+        assert erasure.erase(dt.int_of(IVar("n"))) == ml.INT
+
+    def test_erase_drops_quantifiers(self):
+        ty = dt.DPi((("n", NAT),), terms.TRUE,
+                    dt.DArrow(dt.int_of(IVar("n")), dt.int_of(IVar("n"))))
+        assert erasure.erase(ty) == ml.MLArrow(ml.INT, ml.INT)
+
+    def test_erase_sigma(self):
+        assert erasure.erase(dt.some_int()) == ml.INT
+
+    def test_erase_array(self):
+        ty = dt.array_of(dt.DTyVar("'a"), IVar("n"))
+        assert erasure.erase(ty) == ml.MLCon("array", (ml.MLRigid("'a"),))
+
+    def test_erase_tuple_arrow(self):
+        ty = dt.DArrow(dt.DTuple((dt.some_int(), dt.some_bool())), dt.UNIT)
+        erased = erasure.erase(ty)
+        assert erased == ml.MLArrow(ml.MLTuple((ml.INT, ml.BOOL)), ml.UNIT)
+
+    def test_erase_scheme(self):
+        scheme = dt.DScheme(("'a",), dt.DTyVar("'a"))
+        assert erasure.erase_scheme(scheme) == ml.MLScheme(
+            ("'a",), ml.MLRigid("'a")
+        )
+
+    def test_ml_equal(self):
+        a = ml.MLArrow(ml.INT, ml.MLTuple((ml.BOOL,)))
+        b = ml.MLArrow(ml.INT, ml.MLTuple((ml.BOOL,)))
+        assert erasure.ml_equal(a, b)
+        assert not erasure.ml_equal(a, ml.MLArrow(ml.BOOL, ml.MLTuple((ml.BOOL,))))
+
+    def test_erasure_forgets_all_indices(self):
+        """Differently indexed types erase identically (conservativity)."""
+        t1 = dt.int_of(terms.IConst(1))
+        t2 = dt.int_of(terms.IConst(99))
+        assert erasure.ml_equal(erasure.erase(t1), erasure.erase(t2))
