@@ -16,7 +16,6 @@ import pytest
 
 from repro import api
 from repro.bench.workloads import TABLE_ORDER, WORKLOADS
-from repro.indices.terms import EvarStore
 from repro.solver.simplify import extract_goals, solve_evars
 
 

@@ -1,0 +1,82 @@
+"""The memoized solver portfolio on the full corpus.
+
+Three claims, each load-bearing for using the portfolio as a default
+backend at scale:
+
+* **parity** — ``backend="portfolio"`` proves exactly the goal set the
+  paper's ``fourier`` backend proves, on every corpus program (the
+  escalation ladder only ever *adds* proving power);
+* **memoization** — re-checking a program through a shared
+  :class:`~repro.solver.portfolio.SolverCache` answers every backend
+  query from the cache and lowers measured solve time;
+* **differential validation** — the ``differential`` backend (fourier
+  cross-checked by omega) survives the whole corpus without a
+  :class:`~repro.solver.portfolio.BackendDisagreement`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS
+from repro.solver.portfolio import SolverCache, SolverTelemetry
+
+_CORPUS = [WORKLOADS[d].program for d in TABLE_ORDER]
+
+
+@pytest.mark.parametrize("program", _CORPUS)
+def test_portfolio_matches_fourier_goal_set(program):
+    fourier = api.check_corpus(program, backend="fourier")
+    portfolio = api.check_corpus(program, backend="portfolio")
+    assert [r.proved for r in portfolio.goal_results] == [
+        r.proved for r in fourier.goal_results
+    ]
+
+
+@pytest.mark.parametrize("program", _CORPUS)
+def test_differential_validation_clean(program):
+    # Raises BackendDisagreement inside check() if fourier ever
+    # declares UNSAT on a system omega can satisfy.
+    report = api.check_corpus(program, backend="differential")
+    fourier = api.check_corpus(program, backend="fourier")
+    assert report.stats.proved == fourier.stats.proved
+
+
+def test_warm_cache_answers_everything_and_is_faster():
+    cache = SolverCache(maxsize=65536)
+    cold_total = warm_total = 0.0
+    for program in _CORPUS:
+        api.check_corpus(program, backend="portfolio", cache=cache)
+    for program in _CORPUS:
+        telemetry = SolverTelemetry()
+        report = api.check_corpus(
+            program, backend="portfolio", cache=cache, telemetry=telemetry
+        )
+        assert telemetry.cache_misses == 0, program
+        assert telemetry.cache_hits == telemetry.queries > 0, program
+        warm_total += report.solve_seconds
+    # Third pass cold (fresh caches) for the timing comparison.
+    for program in _CORPUS:
+        report = api.check_corpus(program, backend="portfolio", cache=SolverCache())
+        cold_total += report.solve_seconds
+    assert warm_total < cold_total
+
+
+def test_portfolio_backend_benchmark(benchmark):
+    """pytest-benchmark hook: the whole corpus through one shared cache
+    (steady-state per-round cost is the memoized one)."""
+    cache = SolverCache(maxsize=65536)
+    telemetry = SolverTelemetry()
+
+    def run():
+        for program in _CORPUS:
+            api.check_corpus(
+                program, backend="portfolio", cache=cache, telemetry=telemetry
+            )
+        return telemetry
+
+    result = benchmark(run)
+    benchmark.extra_info["queries"] = result.queries
+    benchmark.extra_info["cache_hits"] = result.cache_hits
+    assert result.cache_hits > 0

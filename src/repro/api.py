@@ -26,13 +26,20 @@ from repro import programs
 from repro.core.elaborate import ElabResult, SiteInfo, elaborate_program
 from repro.core.env import GlobalEnv
 from repro.core.ml_infer import MLInferencer
-from repro.indices import constraints as cs
 from repro.indices.terms import EvarStore
 from repro.lang import ast
 from repro.lang.errors import UnsolvedConstraint
 from repro.lang.parser import parse_program
 from repro.lang.source import SourceFile
 from repro.solver.backends import Backend, get_backend
+from repro.solver.portfolio import (
+    GLOBAL_CACHE,
+    DifferentialSolver,
+    PortfolioSolver,
+    SolverCache,
+    SolverTelemetry,
+    instrument,
+)
 from repro.solver.simplify import GoalResult, SolveStats, prove_all
 
 
@@ -53,6 +60,8 @@ class CheckReport:
     solve_seconds: float
     #: Index-unreachable branches: warnings, not errors.
     warnings: list[str] = field(default_factory=list)
+    #: Solver-layer telemetry: queries, per-tier decisions, cache stats.
+    telemetry: SolverTelemetry | None = None
 
     # -- derived ------------------------------------------------------------
 
@@ -124,6 +133,8 @@ class CheckReport:
             f"generation time:  {self.generation_seconds * 1000:.2f} ms",
             f"solve time:       {self.solve_seconds * 1000:.2f} ms",
         ]
+        if self.telemetry is not None and self.telemetry.queries:
+            lines.extend(self.telemetry.lines())
         for result in self.failed_goals:
             where = self.source.describe(result.goal.span)
             lines.append(f"UNSOLVED [{where}] {result.goal} -- {result.reason}")
@@ -151,10 +162,20 @@ def check(
     name: str = "<input>",
     backend: Backend | str = "fourier",
     include_prelude: bool = True,
+    cache: SolverCache | bool | None = None,
+    telemetry: SolverTelemetry | None = None,
 ) -> CheckReport:
-    """Run the full static pipeline on ``source``."""
-    if isinstance(backend, str):
-        backend = get_backend(backend)
+    """Run the full static pipeline on ``source``.
+
+    ``cache`` memoizes backend verdicts on canonically renamed atom
+    systems: pass a :class:`SolverCache` (shareable across calls — the
+    second check of the same program answers its queries from the
+    cache), ``True`` for the process-wide shared cache, or ``None`` to
+    disable.  ``telemetry`` accumulates solver statistics; pass one
+    instance to several checks to aggregate, or leave ``None`` for a
+    fresh per-report one (surfaced by :meth:`CheckReport.summary`).
+    """
+    backend, telemetry = _resolve_backend(backend, cache, telemetry)
 
     started = time.perf_counter()
     src = SourceFile(source, name)
@@ -188,7 +209,36 @@ def check(
         generation_seconds=generation,
         solve_seconds=solve_seconds,
         warnings=warnings,
+        telemetry=telemetry,
     )
+
+
+def _resolve_backend(
+    backend: Backend | str,
+    cache: SolverCache | bool | None,
+    telemetry: SolverTelemetry | None,
+) -> tuple[Backend, SolverTelemetry]:
+    """Build the instrumented backend stack for one ``check`` run.
+
+    The composite backends are constructed here (rather than fetched
+    from the registry) so their tier decisions land in *this* run's
+    telemetry instead of the process-global one.
+    """
+    if telemetry is None:
+        telemetry = SolverTelemetry()
+    if cache is True:
+        cache = GLOBAL_CACHE
+    elif cache is False:
+        cache = None
+    if backend == "portfolio":
+        backend = Backend(
+            "portfolio", PortfolioSolver(telemetry).unsat, integer_complete=True
+        )
+    elif backend == "differential":
+        backend = Backend("differential", DifferentialSolver("fourier", telemetry).unsat)
+    elif isinstance(backend, str):
+        backend = get_backend(backend)
+    return instrument(backend, telemetry, cache), telemetry
 
 
 def _unreachable_warnings(
@@ -219,8 +269,11 @@ def _unreachable_warnings(
 
 
 def check_corpus(
-    program_name: str, backend: Backend | str = "fourier"
+    program_name: str,
+    backend: Backend | str = "fourier",
+    cache: SolverCache | bool | None = None,
+    telemetry: SolverTelemetry | None = None,
 ) -> CheckReport:
     """Check one of the bundled corpus programs by name."""
     source = programs.load_source(program_name)
-    return check(source, f"{program_name}.dml", backend)
+    return check(source, f"{program_name}.dml", backend, cache=cache, telemetry=telemetry)

@@ -63,6 +63,12 @@ def main(argv: list[str] | None = None) -> int:
     print("Ablation: existential variable elimination (Section 3.1)")
     print("=" * 72)
     print(tables.render_existentials(harness.existentials_table()))
+    print()
+
+    print("=" * 72)
+    print("Portfolio: memoized tiered solver, cold vs. warm cache")
+    print("=" * 72)
+    print(tables.render_portfolio(harness.portfolio_table()))
     return 0
 
 

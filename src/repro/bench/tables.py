@@ -44,6 +44,12 @@ def render_solver_ablation(rows) -> str:
     return render_table(headers, body)
 
 
+def render_portfolio(rows) -> str:
+    headers = ["program", "fourier (ms)", "cold (ms)", "warm (ms)",
+               "warm cache hits", "cold tiers i/f/o"]
+    return render_table(headers, [r.cells() for r in rows])
+
+
 def render_existentials(rows) -> str:
     headers = ["program", "evars created", "evars solved", "unsolved in failures"]
     body = [

@@ -18,7 +18,7 @@ Lists are delivered in each backend's representation via the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.compile import support

@@ -25,6 +25,7 @@ from repro import api
 from repro.eval.interp import Interpreter
 from repro.eval.values import from_pylist, render
 from repro.lang.errors import DMLError
+from repro.solver.backends import backend_names
 
 
 def _read(path: str) -> str:
@@ -32,13 +33,15 @@ def _read(path: str) -> str:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    report = api.check(_read(args.file), args.file, backend=args.backend)
+    report = api.check(_read(args.file), args.file, backend=args.backend,
+                       cache=args.cache)
     print(report.summary())
     return 0 if report.all_proved else 1
 
 
 def cmd_goals(args: argparse.Namespace) -> int:
-    report = api.check(_read(args.file), args.file, backend=args.backend)
+    report = api.check(_read(args.file), args.file, backend=args.backend,
+                       cache=args.cache)
     store = report.elab.store
     for result in report.goal_results:
         status = "solved  " if result.proved else "UNSOLVED"
@@ -61,7 +64,8 @@ def cmd_goals(args: argparse.Namespace) -> int:
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.compile.pycodegen import compile_program
 
-    report = api.check(_read(args.file), args.file, backend=args.backend)
+    report = api.check(_read(args.file), args.file, backend=args.backend,
+                       cache=args.cache)
     unchecked = report.eliminable_sites()
     module = compile_program(
         report.program, report.env, unchecked, Path(args.file).stem
@@ -117,7 +121,8 @@ def _split_commas(text: str) -> list[str]:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    report = api.check(_read(args.file), args.file, backend=args.backend)
+    report = api.check(_read(args.file), args.file, backend=args.backend,
+                       cache=args.cache)
     unchecked = report.eliminable_sites() if not args.always_check else set()
     interp = Interpreter(report.program, unchecked, env=report.env)
     call_args = [_parse_value(a) for a in args.args]
@@ -152,7 +157,8 @@ def cmd_fmt(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     from repro.compile.certificate import issue_certificate, verify_certificate
 
-    report = api.check(_read(args.file), args.file, backend=args.backend)
+    report = api.check(_read(args.file), args.file, backend=args.backend,
+                       cache=args.cache)
     if not report.all_proved:
         print("error: cannot certify a program with unsolved constraints",
               file=sys.stderr)
@@ -190,7 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("file", help="DML source file")
         p.add_argument("--backend", default="fourier",
-                       help="constraint solver backend")
+                       choices=backend_names(),
+                       help="constraint solver backend (see `dml check "
+                            "--backend portfolio` for the tiered solver)")
+        p.add_argument("--cache", action="store_true",
+                       help="memoize solver verdicts on canonical goal "
+                            "keys (shared across the process)")
 
     p_check = sub.add_parser("check", help="type-check a program")
     common(p_check)
@@ -223,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_cert)
     p_cert.add_argument("--verifier", default="omega",
+                        choices=backend_names(),
                         help="independent backend for re-verification")
     p_cert.set_defaults(fn=cmd_certify)
 

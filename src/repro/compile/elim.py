@@ -12,7 +12,7 @@ sites.  ``*CK`` operations never appear here — they always check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.api import CheckReport
 from repro.core.elaborate import SiteInfo

@@ -26,18 +26,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core import tyconv
-from repro.core.env import CHECK_SITES, GUARDED_OPS, GlobalEnv, ValueInfo, ValueKind
+from repro.core.env import CHECK_SITES, GUARDED_OPS, GlobalEnv, ValueKind
 from repro.core.lift import lift_scheme, lift_type
 from repro.indices import constraints as cs
 from repro.indices import terms
-from repro.indices.sorts import BOOL, INT, Sort
+from repro.indices.sorts import INT, Sort
 from repro.indices.terms import EvarStore, IVar, IndexTerm
 from repro.lang import ast
 from repro.lang.errors import ElabError
-from repro.lang.source import DUMMY_SPAN, Span
+from repro.lang.source import Span
 from repro.types import types as dt
 from repro.types.types import DType, MetaStore
 

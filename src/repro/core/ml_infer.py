@@ -16,7 +16,7 @@ ML type — so dependent annotations can never change ML typability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import resolve, tyconv
 from repro.core.env import (
@@ -28,7 +28,6 @@ from repro.core.env import (
     ValueInfo,
     ValueKind,
 )
-from repro.indices import terms
 from repro.lang import ast
 from repro.lang.errors import ElabError, MLTypeError
 from repro.lang.source import Span

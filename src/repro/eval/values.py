@@ -14,7 +14,7 @@ Representation choices:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 #: The unit value.

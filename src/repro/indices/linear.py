@@ -16,7 +16,7 @@ hypotheses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import gcd
 
 from repro.indices.terms import (

@@ -17,11 +17,16 @@ Available backends:
   by a different algorithm (cross-validation + ablation baseline).
 * ``interval`` — bounds propagation in the SUP-INF spirit (Shostak
   1977, the paper's other cited alternative); fastest and weakest.
+* ``portfolio`` — memoized escalation ``interval`` → ``fourier`` →
+  ``omega`` with a shared canonical-form cache and telemetry (see
+  :mod:`repro.solver.portfolio`).
+* ``differential`` — answers with ``fourier`` but cross-checks every
+  UNSAT verdict against ``omega``, raising on a soundness violation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.indices.linear import Atom
@@ -60,12 +65,29 @@ def _interval_unsat(atoms: Sequence[Atom]) -> bool:
     return interval.interval_unsat(atoms)
 
 
+def _portfolio_unsat(atoms: Sequence[Atom]) -> bool:
+    # Imported lazily: portfolio builds on this module's Backend class.
+    from repro.solver import portfolio
+
+    return portfolio.default_portfolio().unsat(atoms)
+
+
+def _differential_unsat(atoms: Sequence[Atom]) -> bool:
+    from repro.solver import portfolio
+
+    return portfolio.default_differential().unsat(atoms)
+
+
 _REGISTRY: dict[str, Backend] = {
     "fourier": Backend("fourier", _fourier_unsat),
     "fourier-rational": Backend("fourier-rational", _fourier_rational_unsat),
     "omega": Backend("omega", _omega_unsat, integer_complete=True),
     "simplex": Backend("simplex", _simplex_unsat),
     "interval": Backend("interval", _interval_unsat),
+    # The last tier of the portfolio is omega, so a final "not proven"
+    # carries omega's (budget-capped) completeness guarantee.
+    "portfolio": Backend("portfolio", _portfolio_unsat, integer_complete=True),
+    "differential": Backend("differential", _differential_unsat),
 }
 
 DEFAULT_BACKEND = "fourier"

@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.indices.linear import Atom, LinComb, LinVar
-from repro.indices.terms import EvarStore, IndexTerm
-from repro.lang.source import SourceFile
+from repro.indices.terms import EvarStore
 from repro.solver.bruteforce import find_model
 from repro.solver.simplify import Goal, UnsupportedGoal, goal_atom_sets
 

@@ -21,8 +21,8 @@ complete :mod:`repro.solver.omega` backend exists for comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from math import floor, gcd
+from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.indices.linear import Atom, LinComb, LinVar
@@ -30,11 +30,19 @@ from repro.indices.linear import Atom, LinComb, LinVar
 
 @dataclass
 class FourierStats:
-    """Operation counters for the benchmark harness."""
+    """Operation counters for the benchmark harness.
+
+    ``tightenings`` counts every application of the paper's rounding
+    rule — each inequality rewritten because its coefficient gcd
+    exceeds 1 — whether or not the constant moved; ``roundings`` counts
+    the strict subset where the constant was actually rounded down
+    (the only applications that change the rational solution set).
+    """
 
     eliminations: int = 0
     pair_combinations: int = 0
     tightenings: int = 0
+    roundings: int = 0
 
 
 @dataclass
@@ -50,15 +58,21 @@ class FourierConfig:
 
 
 def _tighten(ineq: LinComb, config: FourierConfig, stats: FourierStats) -> LinComb:
-    """Apply the gcd rounding rule to ``ineq >= 0``."""
+    """Apply the gcd rounding rule to ``ineq >= 0``.
+
+    Exact integer floor division throughout: ``ineq.const / g`` through
+    a float would misround for constants beyond 2**53 and either weaken
+    the rule or (worse) over-tighten it into unsoundness.
+    """
     if not config.integer_tightening:
         return ineq
     g = ineq.content()
     if g <= 1:
         return ineq
-    new_const = floor(ineq.const / g)
+    stats.tightenings += 1
+    new_const = ineq.const // g
     if new_const * g != ineq.const:
-        stats.tightenings += 1
+        stats.roundings += 1
     return LinComb(
         tuple((v, c // g) for v, c in ineq.coeffs),
         new_const,
@@ -89,46 +103,79 @@ def _expand_equalities(atoms: Iterable[Atom]) -> list[LinComb] | None:
     return ineqs
 
 
+def _find_unit(atom: Atom) -> tuple[LinVar, int] | None:
+    """The first +-1-coefficient variable of an equality, if any."""
+    if atom.rel != "=":
+        return None
+    for var, coeff in atom.lhs.coeffs:
+        if abs(coeff) == 1:
+            return var, coeff
+    return None
+
+
 def _substitute_unit_equalities(atoms: Sequence[Atom]) -> list[Atom] | None:
     """Use equalities with a +-1 coefficient to eliminate variables.
 
     This mirrors the "eliminate existential variables / solve simple
     equations first" preprocessing and keeps the inequality set small.
     Returns ``None`` on an immediate contradiction.
+
+    Single worklist pass: each atom is examined for a unit equality
+    once, and re-examined only when a substitution actually rewrote it
+    (a rewrite can surface a new unit coefficient).  The eliminated
+    variable never reappears — its replacement does not mention it — so
+    each equality is processed at most once, rather than rescanning the
+    whole list from index 0 after every substitution (quadratic on
+    equality-heavy systems).
     """
-    work = list(atoms)
-    progress = True
-    while progress:
-        progress = False
-        for i, atom in enumerate(work):
-            if atom.rel != "=":
-                continue
-            unit_var: LinVar | None = None
-            unit_coeff = 0
-            for var, coeff in atom.lhs.coeffs:
-                if abs(coeff) == 1:
-                    unit_var = var
-                    unit_coeff = coeff
-                    break
-            if unit_var is None:
-                continue
-            # coeff * var + rest = 0  =>  var = -rest / coeff
-            rest = atom.lhs.drop(unit_var)
-            replacement = rest.scale(-unit_coeff)  # coeff in {1,-1}
-            new_work: list[Atom] = []
-            for j, other in enumerate(work):
-                if j == i:
+    queue: deque[Atom] = deque(atoms)
+    done: list[Atom] = []
+    while queue:
+        atom = queue.popleft()
+        unit = _find_unit(atom)
+        if unit is None:
+            done.append(atom)
+            continue
+        unit_var, unit_coeff = unit
+        # coeff * var + rest = 0  =>  var = -rest / coeff
+        rest = atom.lhs.drop(unit_var)
+        replacement = rest.scale(-unit_coeff)  # coeff in {1,-1}
+
+        def rewrite(other: Atom) -> Atom | None:
+            """Substituted atom, or ``None`` when it became trivial.
+            Raises ``_Contradiction`` on a trivially false result."""
+            new_atom = Atom(other.rel, other.lhs.substitute(unit_var, replacement))
+            if new_atom.is_trivially_false():
+                raise _Contradiction
+            return None if new_atom.is_trivially_true() else new_atom
+
+        try:
+            new_queue: deque[Atom] = deque()
+            for other in queue:
+                if other.lhs.coeff(unit_var) == 0:
+                    new_queue.append(other)
                     continue
-                new_lhs = other.lhs.substitute(unit_var, replacement)
-                new_atom = Atom(other.rel, new_lhs)
-                if new_atom.is_trivially_false():
-                    return None
-                if not new_atom.is_trivially_true():
-                    new_work.append(new_atom)
-            work = new_work
-            progress = True
-            break
-    return work
+                rewritten = rewrite(other)
+                if rewritten is not None:
+                    new_queue.append(rewritten)
+            new_done: list[Atom] = []
+            for other in done:
+                if other.lhs.coeff(unit_var) == 0:
+                    new_done.append(other)
+                    continue
+                rewritten = rewrite(other)
+                if rewritten is not None:
+                    # May have gained a unit coefficient: re-examine.
+                    new_queue.append(rewritten)
+        except _Contradiction:
+            return None
+        queue = new_queue
+        done = new_done
+    return done
+
+
+class _Contradiction(Exception):
+    """A substitution produced a trivially false atom."""
 
 
 def _pick_variable(ineqs: Sequence[LinComb]) -> LinVar | None:

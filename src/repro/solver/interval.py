@@ -8,13 +8,21 @@ interval of each of its variables given the others' current bounds,
 with integer rounding (ceil/floor) built in.  An empty interval proves
 unsatisfiability.
 
+All arithmetic is exact: bounds are Python ``int`` (``None`` meaning
+unbounded), never floats.  A float in the bound computation would lose
+precision beyond 2**53 and can *strengthen* a bound incorrectly —
+declaring a satisfiable system UNSAT, exactly the failure mode the
+"trustworthy ``True``" backend contract forbids (a wrong UNSAT deletes
+a run-time bound check the program needs).
+
 Properties:
 
 * sound for UNSAT (like every backend here);
 * weaker than Fourier elimination — it reasons one constraint at a
   time and cannot combine constraints (e.g. ``x <= y /\\ y <= z /\\
   z <= x - 1`` needs a transitive chain it never forms) — but very
-  fast, which is why real solvers use it as a preprocding step;
+  fast, which is why real solvers use it as a preprocessing step (and
+  why it is the first tier of :mod:`repro.solver.portfolio`);
 * iteration-capped, since mutually increasing bounds may otherwise
   tighten forever (``x >= y + 1 /\\ y >= x + 1`` walks to infinity).
 
@@ -25,7 +33,6 @@ paper would have lost by choosing an even simpler method than Fourier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil, floor, inf
 from typing import Sequence
 
 from repro.indices.linear import Atom, LinComb, LinVar
@@ -35,6 +42,11 @@ from repro.indices.linear import Atom, LinComb, LinVar
 class IntervalStats:
     tightenings: int = 0
     passes: int = 0
+
+
+def _ceil_div(num: int, den: int) -> int:
+    """Exact ``ceil(num / den)`` for ``den > 0`` (no float round-trip)."""
+    return -((-num) // den)
 
 
 def interval_unsat(
@@ -53,12 +65,13 @@ def interval_unsat(
         else:
             ineqs.append(atom.lhs)
 
-    lo: dict[LinVar, float] = {}
-    hi: dict[LinVar, float] = {}
+    # None = unbounded in that direction; otherwise an exact int.
+    lo: dict[LinVar, int | None] = {}
+    hi: dict[LinVar, int | None] = {}
     for iq in ineqs:
         for var, _ in iq.coeffs:
-            lo.setdefault(var, -inf)
-            hi.setdefault(var, inf)
+            lo.setdefault(var, None)
+            hi.setdefault(var, None)
 
     for _ in range(max_passes):
         stats.passes += 1
@@ -71,32 +84,34 @@ def interval_unsat(
             # sum(a_i x_i) + c >= 0; bound each variable by the rest.
             for var, coeff in iq.coeffs:
                 # rest_max = sup of sum_{j != i} a_j x_j + c
-                rest_max = float(iq.const)
+                rest_max: int | None = iq.const
                 for other, a in iq.coeffs:
                     if other == var:
                         continue
-                    contrib = a * hi[other] if a > 0 else a * lo[other]
-                    rest_max += contrib
-                    if rest_max == inf:
+                    limit = hi[other] if a > 0 else lo[other]
+                    if limit is None:
+                        rest_max = None
                         break
-                if rest_max == inf:
+                    rest_max += a * limit
+                if rest_max is None:
                     continue
-                if rest_max == -inf:
-                    return True  # the rest alone is impossibly small
                 # coeff * var >= -rest_max
                 if coeff > 0:
-                    bound = ceil(-rest_max / coeff)
-                    if bound > lo[var]:
+                    bound = _ceil_div(-rest_max, coeff)
+                    current = lo[var]
+                    if current is None or bound > current:
                         lo[var] = bound
                         changed = True
                         stats.tightenings += 1
                 else:
-                    bound = floor(rest_max / -coeff)
-                    if bound < hi[var]:
+                    bound = rest_max // -coeff  # floor division, exact
+                    current = hi[var]
+                    if current is None or bound < current:
                         hi[var] = bound
                         changed = True
                         stats.tightenings += 1
-                if lo[var] > hi[var]:
+                var_lo, var_hi = lo[var], hi[var]
+                if var_lo is not None and var_hi is not None and var_lo > var_hi:
                     return True
         if not changed:
             return False

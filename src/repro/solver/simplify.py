@@ -25,7 +25,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.solver.portfolio import SolverCache, SolverTelemetry
 
 from repro.indices import terms
 from repro.indices.constraints import (
@@ -45,7 +49,7 @@ from repro.indices.linear import (
     atoms_of_cmp,
     linearize,
 )
-from repro.indices.sorts import BOOL, INT, Sort
+from repro.indices.sorts import Sort
 from repro.indices.terms import (
     And,
     BConst,
@@ -481,9 +485,21 @@ def prove_goal(
     store: EvarStore,
     backend: Backend | None = None,
     stats: SolveStats | None = None,
+    cache: "SolverCache | None" = None,
+    telemetry: "SolverTelemetry | None" = None,
 ) -> GoalResult:
-    """Attempt to discharge one goal; never raises."""
+    """Attempt to discharge one goal; never raises.
+
+    ``cache``/``telemetry`` (see :mod:`repro.solver.portfolio`) wrap
+    the backend with memoization on canonical goal keys and query
+    accounting.  Callers that already hold an instrumented backend —
+    :func:`repro.api.check` builds one per run — pass neither.
+    """
     backend = backend or get_backend()
+    if cache is not None or telemetry is not None:
+        from repro.solver.portfolio import instrument
+
+        backend = instrument(backend, telemetry, cache)
     started = time.perf_counter()
 
     def finish(proved: bool, reason: str = "", cases: int = 0) -> GoalResult:
@@ -559,8 +575,14 @@ def prove_all(
     store: EvarStore,
     backend: Backend | None = None,
     stats: SolveStats | None = None,
+    cache: "SolverCache | None" = None,
+    telemetry: "SolverTelemetry | None" = None,
 ) -> list[GoalResult]:
     """The full Section 3 pipeline for one constraint tree."""
+    if cache is not None or telemetry is not None:
+        from repro.solver.portfolio import instrument
+
+        backend = instrument(backend or get_backend(), telemetry, cache)
     goals = extract_goals(constraint, store)
     solved = solve_evars(goals, store)
     if stats is not None:

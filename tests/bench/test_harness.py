@@ -1,6 +1,5 @@
 """Tests for the benchmark harness (table generation machinery)."""
 
-import pytest
 
 from repro.bench import harness, tables
 from repro.bench.workloads import SIZES, TABLE_ORDER, WORKLOADS

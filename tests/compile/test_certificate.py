@@ -3,14 +3,14 @@ direction)."""
 
 import pytest
 
-from repro import api, programs
+from repro import api
 from repro.compile.certificate import (
     Obligation,
     issue_certificate,
     verify_certificate,
 )
 from repro.indices import terms
-from repro.indices.sorts import INT, NAT
+from repro.indices.sorts import INT
 from repro.indices.terms import IConst, IVar
 
 GOOD = (

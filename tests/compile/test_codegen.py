@@ -6,7 +6,7 @@ from repro import api
 from repro.compile import support
 from repro.compile.pycodegen import compile_program, mangle
 from repro.eval.interp import Interpreter
-from repro.eval.values import ConV, from_pylist
+from repro.eval.values import from_pylist
 from repro.lang.errors import BoundsError, MatchFailure, TagError
 
 

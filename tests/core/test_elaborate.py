@@ -353,13 +353,6 @@ class TestConservativity:
         annotated = check(
             "fun f(a) = sub(a, 0) where f <| {n:nat | n > 0} 'a array(n) -> 'a"
         )
-        from repro.types import erasure
-
-        erased = erasure.erase(
-            annotated.env.value("f").scheme.body
-            if annotated.env.value("f")
-            else annotated.program.decls[0].bindings[0].ml_scheme.body
-        ) if False else None
         # Both versions are ML-typable; the annotated one's erasure is
         # the plain ML type.
         assert str(plain.program.decls[0].bindings[0].ml_scheme) == (

@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.core.ml_infer import MLInferencer
 from repro.lang.errors import ElabError, MLTypeError
-from repro.lang.parser import parse_program
-from repro.types import mltype as ml
 from tests.core.conftest import infer
 
 

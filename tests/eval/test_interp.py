@@ -4,7 +4,6 @@ import pytest
 
 from repro import api
 from repro.eval.interp import Interpreter
-from repro.eval.runtime import RuntimeStats
 from repro.eval.values import ConV, from_pylist, render, to_pylist
 from repro.lang.errors import BoundsError, EvalError, MatchFailure, TagError
 

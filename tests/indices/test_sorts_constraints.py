@@ -1,6 +1,5 @@
 """Unit tests for index sorts and the constraint formula language."""
 
-import pytest
 
 from repro.indices import constraints as cs
 from repro.indices import sorts, terms

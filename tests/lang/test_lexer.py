@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang.errors import LexError
-from repro.lang.lexer import KEYWORDS, Token, tokenize
+from repro.lang.lexer import KEYWORDS, tokenize
 from repro.lang.source import SourceFile
 
 

@@ -8,7 +8,6 @@ tricky hand-written programs.
 import pytest
 
 from repro import programs
-from repro.lang import ast
 from repro.lang.parser import parse_expression, parse_program, parse_type
 from repro.lang.pretty import pretty_expr, pretty_program, pretty_type
 

@@ -174,6 +174,8 @@ class TestRegistry:
             "omega",
             "simplex",
             "interval",
+            "portfolio",
+            "differential",
         }
 
     def test_unknown_backend_rejected(self):
@@ -188,7 +190,9 @@ class TestRegistry:
 
     def test_completeness_flags(self):
         assert get_backend("omega").integer_complete
+        assert get_backend("portfolio").integer_complete
         assert not get_backend("fourier").integer_complete
+        assert not get_backend("differential").integer_complete
 
 
 class TestBruteforce:

@@ -4,7 +4,7 @@ from repro import api
 from repro.indices import terms
 from repro.indices.sorts import INT, NAT
 from repro.indices.terms import EvarStore, IConst, IVar
-from repro.solver.diagnose import explain_failures, find_counterexample
+from repro.solver.diagnose import find_counterexample
 from repro.solver.simplify import Goal
 
 

@@ -1,0 +1,165 @@
+"""Differential fuzzing of the decision backends.
+
+Every backend promises at most one thing: ``unsat() == True`` is
+trustworthy (the checker deletes a run-time bound check on its word).
+This module hammers that contract with hundreds of small random
+systems and checks the soundness lattice between backends:
+
+* every backend's UNSAT verdict is confirmed by omega (the
+  integer-complete reference);
+* simplex and untightened Fourier are both rationally complete, so
+  they agree exactly on pure-inequality systems; on systems with
+  equalities, Fourier's preprocessing applies the gcd divisibility
+  check (``2x + 1 = 0`` is refuted outright), so even "rational"
+  Fourier is strictly stronger there: simplex UNSAT ⊆ fourier-rational
+  UNSAT, not ≡;
+* a rational refutation (simplex) implies a tightened-Fourier
+  refutation — tightening only ever removes rational models.
+
+Note the lattice deliberately does NOT claim interval ⊆ fourier:
+per-constraint ceil/floor rounding and elimination-order-dependent
+gcd tightening each catch instances the other misses (see
+``test_fourier_order_dependence_documented`` in test_interval.py).
+
+The generator boxes every variable so omega always terminates well
+inside its budget; a budget overrun is treated as "unconfirmable"
+and skipped rather than failed.
+"""
+
+import random
+
+import pytest
+
+from repro.indices.linear import Atom, LinComb
+from repro.solver.fourier import FourierConfig, fourier_unsat
+from repro.solver.interval import interval_unsat
+from repro.solver.omega import OmegaBudgetExceeded, omega_sat
+from repro.solver.portfolio import DifferentialSolver
+from repro.solver.simplex import simplex_unsat
+
+N_SYSTEMS = 600
+VARS = ("x", "y", "z")
+BOX = 6
+
+
+def random_system(rng: random.Random) -> list[Atom]:
+    """A small random constraint system, boxed to |v| <= BOX."""
+    n_vars = rng.randint(1, len(VARS))
+    used = VARS[:n_vars]
+    atoms: list[Atom] = []
+    for _ in range(rng.randint(1, 4)):
+        coeffs = tuple(
+            (v, c)
+            for v in used
+            if (c := rng.randint(-3, 3)) != 0 and rng.random() < 0.8
+        )
+        rel = "=" if rng.random() < 0.25 else ">="
+        atoms.append(Atom(rel, LinComb(coeffs, rng.randint(-BOX, BOX))))
+    for v in used:
+        atoms.append(Atom(">=", LinComb(((v, 1),), BOX)))
+        atoms.append(Atom(">=", LinComb(((v, -1),), BOX)))
+    return atoms
+
+
+def systems():
+    rng = random.Random(19980617)  # PLDI '98, for determinism
+    return [random_system(rng) for _ in range(N_SYSTEMS)]
+
+
+SYSTEMS = systems()
+
+RATIONAL = FourierConfig(integer_tightening=False)
+
+
+def omega_verdict(atoms) -> bool | None:
+    """True = integer-unsat, False = sat, None = budget ran out."""
+    try:
+        return not omega_sat(atoms)
+    except OmegaBudgetExceeded:
+        return None
+
+
+def test_generator_is_deterministic():
+    assert [str(a) for a in systems()[0]] == [str(a) for a in SYSTEMS[0]]
+
+
+def test_corpus_exercises_both_verdicts():
+    """The random corpus must contain real SAT and real UNSAT systems,
+    otherwise the lattice assertions below are vacuous."""
+    verdicts = {omega_verdict(atoms) for atoms in SYSTEMS[:100]}
+    assert True in verdicts and False in verdicts
+
+
+@pytest.mark.parametrize(
+    "name, refute",
+    [
+        ("interval", interval_unsat),
+        ("fourier", fourier_unsat),
+        ("fourier-rational", lambda a: fourier_unsat(a, RATIONAL)),
+        ("simplex", simplex_unsat),
+    ],
+)
+def test_every_unsat_verdict_is_confirmed_by_omega(name, refute):
+    unconfirmable = 0
+    refuted = 0
+    for i, atoms in enumerate(SYSTEMS):
+        if not refute(atoms):
+            continue
+        refuted += 1
+        verdict = omega_verdict(atoms)
+        if verdict is None:
+            unconfirmable += 1
+            continue
+        assert verdict, (
+            f"{name} refuted system #{i} but omega found an integer "
+            f"model: {[str(a) for a in atoms]}"
+        )
+    assert refuted > 0, f"{name} never fired on {N_SYSTEMS} systems"
+    # Boxed systems should stay well inside omega's budget.
+    assert unconfirmable < N_SYSTEMS // 10
+
+
+def test_rationally_complete_backends_agree_without_equalities():
+    """Both are complete for rational inequality systems, so on the
+    equality-free subset their verdicts must coincide exactly."""
+    checked = 0
+    for i, atoms in enumerate(SYSTEMS):
+        if any(a.rel == "=" for a in atoms):
+            continue
+        checked += 1
+        s = simplex_unsat(atoms)
+        f = fourier_unsat(atoms, RATIONAL)
+        assert s == f, (
+            f"simplex={s} fourier-rational={f} on system #{i}: "
+            f"{[str(a) for a in atoms]}"
+        )
+    assert checked > 50
+
+
+def test_simplex_refutations_are_fourier_rational_refutations():
+    """Fourier preprocessing refutes some equality systems simplex
+    cannot (gcd divisibility), but never the other way around."""
+    for i, atoms in enumerate(SYSTEMS):
+        if simplex_unsat(atoms):
+            assert fourier_unsat(atoms, RATIONAL), (
+                f"fourier-rational missed a rational refutation on "
+                f"system #{i}: {[str(a) for a in atoms]}"
+            )
+
+
+def test_rational_refutation_implies_tightened_refutation():
+    for i, atoms in enumerate(SYSTEMS):
+        if simplex_unsat(atoms):
+            assert fourier_unsat(atoms), (
+                f"tightening lost a rational refutation on system #{i}: "
+                f"{[str(a) for a in atoms]}"
+            )
+
+
+@pytest.mark.parametrize("primary", ["interval", "fourier", "simplex"])
+def test_differential_solver_never_trips(primary):
+    """DifferentialSolver re-checks every UNSAT with omega and raises on
+    disagreement; a clean sweep is the machine-checked soundness run."""
+    solver = DifferentialSolver(primary)
+    for atoms in SYSTEMS:
+        solver.unsat(atoms)  # BackendDisagreement would propagate

@@ -86,6 +86,52 @@ class TestInterval:
         assert stats.tightenings >= 1
 
 
+class TestExactArithmetic:
+    """Bounds must be exact ints: a float round-trip loses precision
+    beyond 2**53 and can *over*-tighten a bound, declaring a
+    satisfiable system UNSAT — which would delete a needed run-time
+    bound check."""
+
+    def test_large_coefficients_not_unsound(self):
+        # 3x >= 3*2**53 + 3 (x >= 2**53 + 1) and x <= 2**53 + 1 is
+        # satisfiable (x = 2**53 + 1 exactly).  The float version
+        # rounds 3*2**53 + 3 up to 3*2**53 + 4, derives the impossible
+        # lower bound 2**53 + 2, and wrongly answered UNSAT.
+        C = 2**53
+        atoms = [
+            Atom(">=", LinComb((("x", 3),), -(3 * C + 3))),
+            Atom(">=", LinComb((("x", -1),), C + 1)),
+        ]
+        witness = {"x": C + 1}
+        assert all(a.holds(witness) for a in atoms)
+        assert not interval_unsat(atoms)
+
+    def test_large_coefficient_unsat_still_caught(self):
+        # x >= 2**53 + 1 and x <= 2**53: genuinely empty, and the gap
+        # of 1 is below float resolution at this magnitude.
+        C = 2**53
+        atoms = [
+            ge(var("x") + const(-(C + 1))),
+            ge(var("x", -1) + const(C)),
+        ]
+        assert interval_unsat(atoms)
+
+    def test_huge_coefficients_exact_rounding(self):
+        # ceil((2**200 + 1) / 2) is not float-representable at all.
+        C = 2**200
+        atoms = [
+            ge(var("x", 2) + const(-(C + 1))),   # 2x >= C + 1
+            ge(var("x", -2) + const(C + 1)),     # 2x <= C + 1
+        ]
+        # C + 1 is odd, so 2x = C + 1 has no integer solution.
+        assert interval_unsat(atoms)
+        sat = [
+            ge(var("x", 2) + const(-C)),         # 2x >= C
+            ge(var("x", -2) + const(C)),         # 2x <= C
+        ]
+        assert not interval_unsat(sat)           # x = C // 2
+
+
 VARS = ["x", "y"]
 
 

@@ -1,0 +1,276 @@
+"""The memoized solver portfolio: canonical keys, cache, tiers,
+differential validation, and telemetry plumbing."""
+
+import pytest
+
+from repro import api
+from repro.indices.linear import Atom, LinComb
+from repro.indices.terms import EVar
+from repro.solver.backends import Backend, get_backend
+from repro.solver.portfolio import (
+    BackendDisagreement,
+    DifferentialSolver,
+    PortfolioSolver,
+    SolverCache,
+    SolverTelemetry,
+    canonical_key,
+    instrument,
+)
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+def ge(lin):
+    return Atom(">=", lin)
+
+
+def eq(lin):
+    return Atom("=", lin)
+
+
+PLAIN_UNSAT = [ge(var("x") + const(-1)), ge(-var("x") + const(-1))]
+PLAIN_SAT = [ge(var("x")), ge(-var("x") + const(10))]
+# Pugh's dark-shadow instance: only omega refutes it.
+PUGH = [
+    ge(var("x", 11) + var("y", 13) + const(-27)),
+    ge(var("x", -11) + var("y", -13) + const(45)),
+    ge(var("x", 7) + var("y", -9) + const(10)),
+    ge(var("x", -7) + var("y", 9) + const(4)),
+]
+# Transitive chain: interval cannot, fourier can.
+CHAIN = [
+    ge(var("y") - var("x")),
+    ge(var("z") - var("y")),
+    ge(var("x") - var("z") + const(-1)),
+]
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalent_rigids_share_a_key(self):
+        a = [ge(var("x") + const(-1)), ge(var("y") - var("x"))]
+        b = [ge(var("p") + const(-1)), ge(var("q") - var("p"))]
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_evar_uids_are_canonicalized_away(self):
+        a = [ge(LinComb.of_var(EVar(3, "n")) + const(-1))]
+        b = [ge(LinComb.of_var(EVar(99, "m")) + const(-1))]
+        c = [ge(var("k") + const(-1))]
+        assert canonical_key(a) == canonical_key(b) == canonical_key(c)
+
+    def test_atom_order_irrelevant_for_identical_structure(self):
+        a = [ge(var("x") + const(-1)), ge(-var("x") + const(5))]
+        b = [ge(-var("x") + const(5)), ge(var("x") + const(-1))]
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_different_constants_differ(self):
+        assert canonical_key([ge(var("x") + const(-1))]) != canonical_key(
+            [ge(var("x") + const(-2))]
+        )
+
+    def test_different_relations_differ(self):
+        assert canonical_key([ge(var("x"))]) != canonical_key([eq(var("x"))])
+
+    def test_variable_identification_matters(self):
+        # x + y >= 0 is not 2x >= 0.
+        two_vars = [ge(var("x") + var("y"))]
+        one_var = [ge(var("x", 2))]
+        assert canonical_key(two_vars) != canonical_key(one_var)
+
+    def test_shared_variable_structure_preserved(self):
+        # {x >= 1, y <= 0} (independent) vs {x >= 1, x <= 0} (linked)
+        # must not collide even though atom-local shapes match.
+        independent = [ge(var("x") + const(-1)), ge(var("y", -1))]
+        linked = [ge(var("x") + const(-1)), ge(var("x", -1))]
+        assert canonical_key(independent) != canonical_key(linked)
+
+    def test_key_is_hashable_and_deterministic(self):
+        key = canonical_key(PUGH)
+        assert hash(key) == hash(canonical_key(list(PUGH)))
+
+
+class TestSolverCache:
+    def test_miss_then_hit(self):
+        cache = SolverCache()
+        key = canonical_key(PLAIN_UNSAT)
+        assert cache.lookup("fourier", key) is None
+        cache.store("fourier", key, True)
+        assert cache.lookup("fourier", key) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_namespaced_by_backend(self):
+        cache = SolverCache()
+        key = canonical_key(PUGH)
+        cache.store("fourier", key, False)
+        cache.store("omega", key, True)
+        assert cache.lookup("fourier", key) is False
+        assert cache.lookup("omega", key) is True
+
+    def test_lru_eviction(self):
+        cache = SolverCache(maxsize=2)
+        k1, k2, k3 = (canonical_key([ge(var("x") + const(-n))]) for n in (1, 2, 3))
+        cache.store("b", k1, True)
+        cache.store("b", k2, False)
+        assert cache.lookup("b", k1) is True  # refresh k1
+        assert cache.store("b", k3, True) == 1  # evicts k2 (LRU)
+        assert cache.evictions == 1
+        assert cache.lookup("b", k2) is None
+        assert cache.lookup("b", k1) is True
+
+    def test_clear(self):
+        cache = SolverCache()
+        cache.store("b", canonical_key(PLAIN_SAT), False)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInstrument:
+    def test_counts_queries_and_verdicts(self):
+        telemetry = SolverTelemetry()
+        backend = instrument(get_backend("fourier"), telemetry)
+        assert backend.unsat(PLAIN_UNSAT)
+        assert not backend.unsat(PLAIN_SAT)
+        assert telemetry.queries == 2
+        assert telemetry.unsat == 1
+
+    def test_cache_short_circuits_second_query(self):
+        telemetry = SolverTelemetry()
+        calls = []
+
+        def spy(atoms):
+            calls.append(1)
+            return True
+
+        backend = instrument(Backend("spy", spy), telemetry, SolverCache())
+        assert backend.unsat(PLAIN_UNSAT)
+        assert backend.unsat(PLAIN_UNSAT)
+        assert len(calls) == 1
+        assert telemetry.cache_hits == 1 and telemetry.cache_misses == 1
+        assert telemetry.unsat == 2  # cached verdicts still counted
+
+    def test_alpha_equivalent_queries_share_the_cache_line(self):
+        telemetry = SolverTelemetry()
+        backend = instrument(get_backend("fourier"), telemetry, SolverCache())
+        backend.unsat([ge(var("i") + const(-1))])
+        backend.unsat([ge(var("j") + const(-1))])
+        assert telemetry.cache_hits == 1
+
+    def test_transparent_name_and_flags(self):
+        wrapped = instrument(get_backend("omega"))
+        assert wrapped.name == "omega"
+        assert wrapped.integer_complete
+
+
+class TestPortfolioSolver:
+    def test_interval_screens_easy_unsat(self):
+        telemetry = SolverTelemetry()
+        assert PortfolioSolver(telemetry).unsat(PLAIN_UNSAT)
+        assert telemetry.decisions == {"interval": 1}
+
+    def test_escalates_to_fourier_for_transitive_chain(self):
+        telemetry = SolverTelemetry()
+        assert PortfolioSolver(telemetry).unsat(CHAIN)
+        assert telemetry.decisions == {"fourier": 1}
+
+    def test_escalates_to_omega_for_dark_shadow(self):
+        telemetry = SolverTelemetry()
+        assert PortfolioSolver(telemetry).unsat(PUGH)
+        assert telemetry.decisions == {"omega": 1}
+
+    def test_sat_decided_by_final_tier(self):
+        telemetry = SolverTelemetry()
+        assert not PortfolioSolver(telemetry).unsat(PLAIN_SAT)
+        assert telemetry.decisions == {"omega": 1}
+
+    def test_tier_seconds_accumulate(self):
+        telemetry = SolverTelemetry()
+        solver = PortfolioSolver(telemetry)
+        solver.unsat(PUGH)
+        assert set(telemetry.tier_seconds) == {"interval", "fourier", "omega"}
+        assert all(t >= 0 for t in telemetry.tier_seconds.values())
+
+
+class TestDifferentialSolver:
+    def test_agreement_passes_through(self):
+        solver = DifferentialSolver("fourier")
+        assert solver.unsat(PLAIN_UNSAT)
+        assert not solver.unsat(PLAIN_SAT)
+
+    def test_unsound_backend_detected(self):
+        lying = Backend("lying", lambda atoms: True)
+        with pytest.raises(BackendDisagreement):
+            DifferentialSolver(lying).unsat(PLAIN_SAT)
+
+    def test_interval_primary_on_parity_instance(self):
+        # interval proves 2x = 1 unsat via rounding; omega agrees.
+        solver = DifferentialSolver("interval")
+        assert solver.unsat([eq(var("x", 2) + const(-1))])
+
+
+class TestTelemetryLines:
+    def test_lines_render(self):
+        telemetry = SolverTelemetry()
+        backend = instrument(
+            Backend("portfolio", PortfolioSolver(telemetry).unsat),
+            telemetry,
+            SolverCache(),
+        )
+        backend.unsat(PLAIN_UNSAT)
+        backend.unsat(PLAIN_UNSAT)
+        text = "\n".join(telemetry.lines())
+        assert "solver queries:   2" in text
+        assert "1 hit(s)" in text
+        assert "tier interval" in text
+
+
+class TestApiIntegration:
+    def test_summary_includes_telemetry(self):
+        report = api.check_corpus("dotprod", backend="portfolio")
+        assert report.telemetry is not None
+        assert report.telemetry.queries > 0
+        assert "solver queries:" in report.summary()
+
+    def test_shared_cache_across_checks(self):
+        cache = SolverCache()
+        first = api.check_corpus("dotprod", backend="portfolio", cache=cache)
+        warm_telemetry = SolverTelemetry()
+        second = api.check_corpus(
+            "dotprod", backend="portfolio", cache=cache, telemetry=warm_telemetry
+        )
+        assert first.all_proved and second.all_proved
+        assert warm_telemetry.cache_hits > 0
+        assert warm_telemetry.cache_misses == 0
+
+    def test_cache_usable_with_plain_backends(self):
+        cache = SolverCache()
+        api.check_corpus("reverse", backend="fourier", cache=cache)
+        telemetry = SolverTelemetry()
+        report = api.check_corpus(
+            "reverse", backend="fourier", cache=cache, telemetry=telemetry
+        )
+        assert report.all_proved
+        assert telemetry.cache_hits > 0
+
+    @pytest.mark.parametrize("program", ["dotprod", "bsearch", "bcopy"])
+    def test_portfolio_matches_fourier_verdicts(self, program):
+        fourier = api.check_corpus(program, backend="fourier")
+        portfolio = api.check_corpus(program, backend="portfolio")
+        assert [r.proved for r in portfolio.goal_results] == [
+            r.proved for r in fourier.goal_results
+        ]
+
+    def test_differential_backend_clean_on_corpus_program(self):
+        report = api.check_corpus("bsearch", backend="differential")
+        assert report.all_proved
+
+    def test_shared_telemetry_accumulates(self):
+        telemetry = SolverTelemetry()
+        api.check_corpus("dotprod", backend="portfolio", telemetry=telemetry)
+        after_one = telemetry.queries
+        api.check_corpus("reverse", backend="portfolio", telemetry=telemetry)
+        assert telemetry.queries > after_one

@@ -1,12 +1,11 @@
 """Tests for constraint simplification: goal extraction, existential
 elimination, operator elimination, and case splitting."""
 
-import pytest
 
 from repro.indices import constraints as cs
 from repro.indices import terms
-from repro.indices.sorts import BOOL, INT, NAT, SubsetSort
-from repro.indices.terms import Cmp, EvarStore, IConst, IVar
+from repro.indices.sorts import BOOL, INT, NAT
+from repro.indices.terms import EvarStore, IConst, IVar
 from repro.solver.backends import get_backend
 from repro.solver.simplify import (
     Goal,

@@ -7,9 +7,14 @@ from repro.indices.linear import Atom, LinComb
 from repro.indices.sorts import INT
 from repro.indices.terms import EvarStore, IConst, IVar
 from repro.solver.backends import get_backend
-from repro.solver.fourier import FourierConfig, FourierStats, fourier_unsat
+from repro.solver.fourier import (
+    FourierConfig,
+    FourierStats,
+    _substitute_unit_equalities,
+    fourier_unsat,
+)
 from repro.solver.omega import OmegaStats, omega_sat, omega_unsat
-from repro.solver.simplify import Goal, UnsupportedGoal, prove_goal
+from repro.solver.simplify import Goal, prove_goal
 
 
 def var(name, coeff=1):
@@ -69,13 +74,61 @@ class TestFourierInternals:
         )
         assert stats.tightenings >= 1
 
+    def test_tightening_counts_every_rule_application(self):
+        # 2x - 4 >= 0: gcd 2 rescales the inequality (one application
+        # of the rounding rule) but the constant is divisible, so no
+        # constant rounding happens.  One inequality, one application.
+        stats = FourierStats()
+        fourier_unsat([ge(var("x", 2) + const(-4))], stats=stats)
+        assert stats.tightenings == 1
+        assert stats.roundings == 0
+
+    def test_rounding_counter_counts_constant_changes_only(self):
+        # 3 <= 2x <= 3: both input inequalities rescale AND round
+        # (gcd 2, odd constants); the combined constant inequality has
+        # no variables left, so nothing else fires.  Exactly 2/2.
+        stats = FourierStats()
+        assert fourier_unsat(
+            [ge(var("x", 2) + const(-3)), ge(var("x", -2) + const(3))],
+            stats=stats,
+        )
+        assert stats.tightenings == 2
+        assert stats.roundings == 2
+
+    def test_tightening_disabled_counts_nothing(self):
+        stats = FourierStats()
+        fourier_unsat(
+            [ge(var("x", 2) + const(-3)), ge(var("x", -2) + const(3))],
+            FourierConfig(integer_tightening=False),
+            stats=stats,
+        )
+        assert stats.tightenings == 0
+        assert stats.roundings == 0
+
+    def test_tighten_exact_beyond_float_precision(self):
+        # 3x >= 2**60 + 63 tightens to x >= ceil((2**60 + 63) / 3).
+        # Computing the rounded constant through float division
+        # (floor((2**60+63) / 3)) overshoots the exact bound by 21 at
+        # this magnitude — over-tightening, the unsound direction.
+        # Paired with the exact witness as an upper bound the system is
+        # satisfiable and must NOT be refuted.
+        C = 2**60 + 63
+        K = -(-C // 3)  # exact ceil(C / 3)
+        atoms = [
+            ge(var("x", 3) + const(-C)),
+            ge(var("x", -1) + const(K)),
+        ]
+        witness = {"x": K}
+        assert all(a.holds(witness) for a in atoms)
+        assert not fourier_unsat(atoms)
+
     def test_redundant_constraints_harmless(self):
         atoms = [ge(var("x"))] * 10 + [ge(-var("x") + const(5))] * 10
         assert not fourier_unsat(atoms)
 
     def test_zero_coefficient_variable_ignored(self):
-        atoms = [ge(LinComb((("x", 0),), 5) if False else const(5))]
-        assert not fourier_unsat([ge(const(5))])
+        atoms = [ge(LinComb((("x", 0),), 5))]
+        assert not fourier_unsat(atoms)
 
 
 class TestOmegaInternals:
@@ -178,3 +231,106 @@ class TestProveGoalEdges:
         store = EvarStore()
         goal = Goal({}, [], terms.cmp("<", IConst(1), IConst(2)))
         assert prove_goal(goal, store, get_backend(backend_name)).proved
+
+
+class TestUnitEqualitySubstitution:
+    """The worklist rewrite of ``_substitute_unit_equalities`` must be
+    observationally identical to the restart-from-zero original."""
+
+    @staticmethod
+    def _reference(atoms):
+        """The pre-worklist algorithm: rescan from index 0 after every
+        substitution (kept here as the behavioural oracle)."""
+        work = list(atoms)
+        progress = True
+        while progress:
+            progress = False
+            for i, atom in enumerate(work):
+                if atom.rel != "=":
+                    continue
+                unit_var = None
+                unit_coeff = 0
+                for v, coeff in atom.lhs.coeffs:
+                    if abs(coeff) == 1:
+                        unit_var = v
+                        unit_coeff = coeff
+                        break
+                if unit_var is None:
+                    continue
+                rest = atom.lhs.drop(unit_var)
+                replacement = rest.scale(-unit_coeff)
+                new_work = []
+                for j, other in enumerate(work):
+                    if j == i:
+                        continue
+                    new_atom = Atom(
+                        other.rel, other.lhs.substitute(unit_var, replacement)
+                    )
+                    if new_atom.is_trivially_false():
+                        return None
+                    if not new_atom.is_trivially_true():
+                        new_work.append(new_atom)
+                work = new_work
+                progress = True
+                break
+        return work
+
+    def _assert_agrees(self, atoms):
+        expected = self._reference(atoms)
+        actual = _substitute_unit_equalities(atoms)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            # Order may differ (re-queued atoms move to the back);
+            # the resulting conjunction must be the same multiset.
+            assert sorted(map(str, actual)) == sorted(map(str, expected))
+
+    def test_unchanged_on_figure4_binary_search_constraints(self):
+        from repro import api
+        from repro.solver.simplify import goal_atom_sets
+
+        report = api.check_corpus("bsearch")
+        store = report.elab.store
+        systems = 0
+        for result in report.goal_results:
+            hyps = [store.resolve(h) for h in result.goal.hyps]
+            concl = store.resolve(result.goal.concl)
+            for atoms in goal_atom_sets(hyps, concl):
+                self._assert_agrees(atoms)
+                systems += 1
+        assert systems >= 30  # the Figure 4 corpus is non-trivial
+
+    def test_contradiction_detected(self):
+        # x = 3 and x = 4 via substitution.
+        atoms = [
+            eq(var("x") + const(-3)),
+            eq(var("x") + const(-4)),
+        ]
+        assert _substitute_unit_equalities(atoms) is None
+        assert self._reference(atoms) is None
+
+    def test_cascaded_unit_discovery(self):
+        # 2a + 3b = 0 is not unit, but after b := -a (from a + b = 0)
+        # it becomes -a = 0, which is — the worklist must re-examine
+        # rewritten atoms.
+        atoms = [
+            eq(var("a", 2) + var("b", 3)),
+            eq(var("a") + var("b")),
+            ge(var("a") + const(-1)),
+        ]
+        self._assert_agrees(atoms)
+        result = _substitute_unit_equalities(atoms)
+        # Everything collapses: a = 0 contradicts a >= 1.
+        assert result is None or any(
+            Atom(a.rel, a.lhs).is_trivially_false() for a in result
+        ) or fourier_unsat(result)
+
+    def test_equality_heavy_chain(self):
+        # x1 = x2 = ... = x20 = 5, then x1 >= 6: contradiction after
+        # the full chain of substitutions.
+        chain = [eq(var(f"x{i}") - var(f"x{i+1}")) for i in range(1, 20)]
+        chain.append(eq(var("x20") + const(-5)))
+        chain.append(ge(var("x1") + const(-6)))
+        self._assert_agrees(chain)
+        assert fourier_unsat(chain)

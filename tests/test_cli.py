@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import _parse_value, main
-from repro.eval.values import ConV, from_pylist
+from repro.eval.values import from_pylist
 
 GOOD = (
     "fun f(a) = sub(a, 0) "
@@ -65,9 +65,14 @@ class TestCommands:
     def test_check_backend_flag(self, good_file):
         assert main(["check", good_file, "--backend", "omega"]) == 0
 
-    def test_check_unknown_backend(self, good_file):
-        with pytest.raises(ValueError):
+    def test_check_unknown_backend(self, good_file, capsys):
+        # argparse rejects the name up front with the known choices.
+        with pytest.raises(SystemExit) as exc:
             main(["check", good_file, "--backend", "nope"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'nope'" in err
+        assert "portfolio" in err
 
     def test_goals(self, good_file, capsys):
         assert main(["goals", good_file]) == 0
