@@ -69,6 +69,12 @@ def main(argv: list[str] | None = None) -> int:
     print("Portfolio: memoized tiered solver, cold vs. warm cache")
     print("=" * 72)
     print(tables.render_portfolio(harness.portfolio_table()))
+    print()
+
+    print("=" * 72)
+    print("Driver: parallel + incrementally-cached whole-corpus checking")
+    print("=" * 72)
+    print(tables.render_driver(harness.driver_table()))
     return 0
 
 

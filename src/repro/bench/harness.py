@@ -12,7 +12,11 @@
 * :func:`existentials_table` — existential variables created vs.
   eliminated (the Section 3.1 observation that all of them solve),
 * :func:`portfolio_table` — the memoized solver portfolio: cold vs.
-  warm (shared-cache) solve times and cache telemetry per program.
+  warm (shared-cache) solve times and cache telemetry per program,
+* :func:`driver_table` — the parallel, incrementally-cached checking
+  driver on the whole corpus: sequential-cold vs. parallel-cold vs.
+  warm (persisted verdicts) wall clock, cache hit rates, worker
+  utilization.
 """
 
 from __future__ import annotations
@@ -425,4 +429,70 @@ def portfolio_table(names: list[str] | None = None) -> list[PortfolioRow]:
                 tier_decisions=dict(cold_tel.decisions),
             )
         )
+    return rows
+
+
+@dataclass
+class DriverRow:
+    """One whole-corpus run through the checking driver."""
+
+    label: str
+    wall_seconds: float
+    goals: int
+    replayed: int
+    queries: int
+    cache_hits: int
+    utilization: float
+
+    def cells(self) -> list[str]:
+        hit_rate = self.cache_hits / self.queries if self.queries else 0.0
+        return [
+            self.label,
+            f"{self.wall_seconds * 1000:.1f}",
+            f"{self.replayed}/{self.goals}",
+            f"{self.cache_hits}/{self.queries} ({hit_rate:.0%})",
+            f"{self.utilization:.0%}",
+        ]
+
+
+def driver_table(jobs: int | None = None, backend: str = "fourier") -> list[DriverRow]:
+    """The checking driver's three operating points on the full corpus:
+    sequential cold (the old one-goal-at-a-time baseline), parallel
+    cold (fan-out only), and warm (fan-out plus the persisted verdict
+    cache from the cold run)."""
+    import os
+    import tempfile
+
+    from repro import driver
+
+    jobs = jobs or os.cpu_count() or 1
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-driver-bench") as tmp:
+        runs = [
+            ("sequential cold", dict(jobs=1, cache_dir=None)),
+            ("parallel cold", dict(jobs=jobs, cache_dir=tmp)),
+            ("parallel warm", dict(jobs=jobs, cache_dir=tmp)),
+        ]
+        baseline = None
+        for label, kwargs in runs:
+            report = driver.check_corpus(backend=backend, **kwargs)
+            assert report.all_ok, f"driver corpus run failed ({label})"
+            verdicts = [row.verdicts for row in report.rows]
+            if baseline is None:
+                baseline = verdicts
+            else:
+                assert verdicts == baseline, (
+                    f"driver verdicts diverged from sequential ({label})"
+                )
+            rows.append(
+                DriverRow(
+                    label=label,
+                    wall_seconds=report.wall_seconds,
+                    goals=report.goals,
+                    replayed=report.goals_replayed,
+                    queries=report.queries,
+                    cache_hits=report.cache_hits,
+                    utilization=report.utilization,
+                )
+            )
     return rows

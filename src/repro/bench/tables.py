@@ -50,6 +50,12 @@ def render_portfolio(rows) -> str:
     return render_table(headers, [r.cells() for r in rows])
 
 
+def render_driver(rows) -> str:
+    headers = ["corpus run", "wall (ms)", "replayed goals",
+               "cache hits", "utilization"]
+    return render_table(headers, [r.cells() for r in rows])
+
+
 def render_existentials(rows) -> str:
     headers = ["program", "evars created", "evars solved", "unsolved in failures"]
     body = [

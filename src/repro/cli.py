@@ -12,7 +12,12 @@ Subcommands:
   ``42``, ``true``, ``[1,2,3]`` (list), ``[|1,2,3|]`` (array), and
   tuples ``(1, [|2|])``;
 * ``dml bench``         — regenerate the paper's tables (delegates to
-  ``python -m repro.bench``).
+  ``python -m repro.bench``);
+* ``dml check-corpus``  — check every bundled corpus program through
+  the parallel, incrementally-cached driver (``repro.driver``) and
+  print an aggregate Table-1-style report with cache telemetry.
+
+The ``repro`` entry point is an alias for ``dml``.
 """
 
 from __future__ import annotations
@@ -174,6 +179,29 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0 if result.valid else 1
 
 
+def cmd_check_corpus(args: argparse.Namespace) -> int:
+    from repro import driver, programs
+
+    names = args.programs or None
+    if names:
+        known = set(programs.available())
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            print(f"error: unknown corpus program(s): {', '.join(unknown)} "
+                  f"(available: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    report = driver.check_corpus(
+        names,
+        jobs=args.jobs,
+        backend=args.backend,
+        executor=args.executor,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        clear=args.clear_cache,
+    )
+    print(report.render())
+    return 0 if report.all_ok else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -237,6 +265,34 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=backend_names(),
                         help="independent backend for re-verification")
     p_cert.set_defaults(fn=cmd_certify)
+
+    p_corpus = sub.add_parser(
+        "check-corpus",
+        help="check all bundled programs through the parallel driver",
+    )
+    p_corpus.add_argument(
+        "programs", nargs="*",
+        help="corpus program names (default: every bundled program)")
+    p_corpus.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker count (default: CPU count; 1 = sequential)")
+    p_corpus.add_argument(
+        "--backend", default="fourier", choices=backend_names(),
+        help="constraint solver backend")
+    p_corpus.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="thread pool (shared in-memory cache) or process pool "
+             "(GIL-free; workers share only the on-disk cache)")
+    p_corpus.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="persistent verdict cache directory (default: .repro-cache)")
+    p_corpus.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent cache entirely")
+    p_corpus.add_argument(
+        "--clear-cache", action="store_true",
+        help="wipe the persisted verdicts first (guaranteed-cold run)")
+    p_corpus.set_defaults(fn=cmd_check_corpus)
 
     p_bench = sub.add_parser("bench", help="regenerate the paper's tables")
     p_bench.add_argument("--preset", choices=["small", "default", "paper"])

@@ -1,0 +1,40 @@
+"""Batch-capable, parallel, incrementally-cached checking driver.
+
+Public surface::
+
+    from repro import driver
+
+    outcome = driver.check_program(source, jobs=4, disk=driver.DiskCache())
+    outcome.report.all_proved          # the usual CheckReport
+    outcome.driver.utilization         # plus driver telemetry
+
+    corpus = driver.check_corpus(jobs=4, cache_dir=".repro-cache")
+    print(corpus.render())
+
+See :mod:`repro.driver.core` for the architecture and
+:mod:`repro.driver.hashing` for the incrementality/invalidation rules.
+"""
+
+from repro.driver.cache import DEFAULT_CACHE_DIR, DiskCache
+from repro.driver.core import (
+    CorpusReport,
+    DriverReport,
+    DriverStats,
+    ProgramResult,
+    check_corpus,
+    check_program,
+)
+from repro.driver.hashing import decl_keys, prelude_hash
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "CorpusReport",
+    "DriverReport",
+    "DriverStats",
+    "ProgramResult",
+    "check_corpus",
+    "check_program",
+    "decl_keys",
+    "prelude_hash",
+]

@@ -1,0 +1,206 @@
+"""The driver's persistent verdict cache (``.repro-cache/``).
+
+Two layers are persisted between processes, both keyed so that stale
+entries can never be *wrongly* reused — at worst they are ignored and
+the solve falls back to cold:
+
+* **solver verdicts** — the in-memory :class:`SolverCache` contents
+  (backend name × canonical goal key → unsat verdict).  Canonical keys
+  are invariant under variable renaming, so these survive any edit
+  that leaves a goal's shape unchanged; a warm re-check of an edited
+  corpus answers almost every backend query from here.
+* **declaration records** — per-declaration goal verdicts keyed by the
+  prefix-chain content hash of :mod:`repro.driver.hashing`.  A hit
+  replays the declaration's ``(origin, proved, reason)`` triples
+  without issuing a single backend query.
+
+The file is JSON (human-inspectable, no dependencies) and written
+atomically (temp file + ``os.replace``).  A corrupted, truncated, or
+schema-incompatible file is treated as absent: the driver logs nothing,
+solves cold, and overwrites it with fresh state on save.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.driver.hashing import SCHEMA_VERSION
+from repro.solver.portfolio import SolverCache, decode_key, encode_key
+
+#: A replayable goal verdict: (origin, proved, reason).
+GoalRecord = tuple[str, bool, str]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+CACHE_FILENAME = "verdicts.json"
+
+
+class DiskCache:
+    """On-disk verdict store shared by successive driver runs."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / CACHE_FILENAME
+        self._lock = threading.Lock()
+        #: backend name -> {encoded canonical key -> verdict}
+        self._solver: dict[str, dict[str, bool]] = {}
+        #: decl content hash -> goal records
+        self._decls: dict[str, list[GoalRecord]] = {}
+        # -- statistics ------------------------------------------------
+        #: Entries successfully read from disk at load time.
+        self.loaded_solver = 0
+        self.loaded_decls = 0
+        #: True when a file existed but could not be (fully) trusted.
+        self.corrupt = False
+        self.decl_hits = 0
+        self.decl_misses = 0
+        self._load()
+
+    # -- loading ----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return  # no cache yet: cold start
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict) or data.get("version") != SCHEMA_VERSION:
+                raise ValueError("unknown cache schema")
+            solver = data.get("solver", {})
+            decls = data.get("decls", {})
+            if not isinstance(solver, dict) or not isinstance(decls, dict):
+                raise ValueError("malformed cache sections")
+            for backend, entries in solver.items():
+                if not (isinstance(backend, str) and isinstance(entries, dict)):
+                    raise ValueError("malformed solver section")
+                kept = {}
+                for text, verdict in entries.items():
+                    if not isinstance(verdict, bool):
+                        raise ValueError("non-boolean verdict")
+                    decode_key(text)  # raises ValueError when malformed
+                    kept[text] = verdict
+                self._solver[backend] = kept
+                self.loaded_solver += len(kept)
+            for key, records in decls.items():
+                if not (isinstance(key, str) and isinstance(records, list)):
+                    raise ValueError("malformed decl section")
+                parsed: list[GoalRecord] = []
+                for record in records:
+                    if not (
+                        isinstance(record, list)
+                        and len(record) == 3
+                        and isinstance(record[0], str)
+                        and isinstance(record[1], bool)
+                        and isinstance(record[2], str)
+                    ):
+                        raise ValueError("malformed goal record")
+                    parsed.append((record[0], record[1], record[2]))
+                self._decls[key] = parsed
+                self.loaded_decls += 1
+        except (ValueError, TypeError, AttributeError):
+            # Corrupted or stale: fall back to a cold solve.
+            self._solver.clear()
+            self._decls.clear()
+            self.loaded_solver = self.loaded_decls = 0
+            self.corrupt = True
+
+    # -- solver-verdict layer ---------------------------------------------
+
+    def seed(self, cache: SolverCache) -> int:
+        """Preload an in-memory solver cache with the persisted
+        verdicts; returns how many entries were installed."""
+        count = 0
+        with self._lock:
+            snapshot = [
+                (backend, dict(entries))
+                for backend, entries in self._solver.items()
+            ]
+        for backend, entries in snapshot:
+            for text, verdict in entries.items():
+                cache.preload(backend, decode_key(text), verdict)
+                count += 1
+        return count
+
+    def absorb(self, cache: SolverCache) -> int:
+        """Fold an in-memory solver cache's verdicts into the store;
+        returns how many entries are new."""
+        added = 0
+        with self._lock:
+            for backend, key, verdict in cache.entries():
+                bucket = self._solver.setdefault(backend, {})
+                text = encode_key(key)
+                if text not in bucket:
+                    added += 1
+                bucket[text] = verdict
+        return added
+
+    # -- declaration layer -------------------------------------------------
+
+    def decl_lookup(self, key: str) -> list[GoalRecord] | None:
+        with self._lock:
+            records = self._decls.get(key)
+            if records is None:
+                self.decl_misses += 1
+                return None
+            self.decl_hits += 1
+            return list(records)
+
+    def decl_store(self, key: str, records: list[GoalRecord]) -> None:
+        with self._lock:
+            self._decls[key] = list(records)
+
+    def decl_entries(self) -> dict[str, list[GoalRecord]]:
+        """Snapshot of all declaration records (for cross-process
+        merging by the corpus driver)."""
+        with self._lock:
+            return {key: list(records) for key, records in self._decls.items()}
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically write the store to disk."""
+        with self._lock:
+            payload = {
+                "version": SCHEMA_VERSION,
+                "solver": {b: dict(e) for b, e in self._solver.items()},
+                "decls": {
+                    key: [list(record) for record in records]
+                    for key, records in self._decls.items()
+                },
+            }
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=CACHE_FILENAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Drop all entries (and the on-disk file, if present)."""
+        with self._lock:
+            self._solver.clear()
+            self._decls.clear()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    @property
+    def solver_entry_count(self) -> int:
+        return sum(len(entries) for entries in self._solver.values())
+
+    @property
+    def decl_entry_count(self) -> int:
+        return len(self._decls)

@@ -21,7 +21,7 @@ exploit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import MISSING, dataclass, fields
 from typing import Any
 
 from repro.eval import values as rv
@@ -49,12 +49,13 @@ class RuntimeStats:
         return self.bound_checks_eliminated + self.tag_checks_eliminated
 
     def reset(self) -> None:
-        self.bound_checks_performed = 0
-        self.bound_checks_eliminated = 0
-        self.tag_checks_performed = 0
-        self.tag_checks_eliminated = 0
-        self.applications = 0
-        self.allocations = 0
+        # Derived from the field list so a counter added later cannot
+        # silently survive a reset (and skew Table 2/3's dynamic counts).
+        for spec in fields(self):
+            if spec.default_factory is not MISSING:  # type: ignore[misc]
+                setattr(self, spec.name, spec.default_factory())
+            else:
+                setattr(self, spec.name, spec.default)
 
 
 def _as_pair(arg: Any) -> tuple:
@@ -225,6 +226,10 @@ def _nth(arg, stats, checked):
     lst, n = arg
     if checked:
         stats.tag_checks_performed += 1
+        if n < 0:
+            # Without this test a negative index fell through the
+            # `while i > 0` walk and silently returned the head.
+            raise TagError(f"Subscript: nth({n}) negative index")
         i = n
         cell = lst
         while i > 0:

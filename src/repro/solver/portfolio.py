@@ -29,10 +29,12 @@ and the bench harness surface it.
 
 from __future__ import annotations
 
+import json
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.indices.linear import Atom
 from repro.solver import fourier, interval, omega
@@ -87,6 +89,43 @@ def canonical_key(atoms: Sequence[Atom]) -> CanonicalKey:
     return tuple(sorted(renamed))
 
 
+def encode_key(key: CanonicalKey) -> str:
+    """A stable text form of a canonical key (JSON of nested lists) —
+    the on-disk representation used by the driver's persistent cache."""
+    return json.dumps(key, separators=(",", ":"))
+
+
+def decode_key(text: str) -> CanonicalKey:
+    """Inverse of :func:`encode_key`.
+
+    Raises :class:`ValueError` on anything that does not reconstruct a
+    well-formed key — corrupted cache entries must be *dropped*, never
+    trusted.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"undecodable key: {text!r}") from exc
+    if not isinstance(data, list):
+        raise ValueError(f"malformed key: {text!r}")
+    atoms: list[CanonicalAtom] = []
+    for entry in data:
+        if not (isinstance(entry, list) and len(entry) == 3):
+            raise ValueError(f"malformed atom in key: {text!r}")
+        rel, const, coeffs = entry
+        if not (isinstance(rel, str) and isinstance(const, int)
+                and isinstance(coeffs, list)):
+            raise ValueError(f"malformed atom in key: {text!r}")
+        pairs = []
+        for pair in coeffs:
+            if not (isinstance(pair, list) and len(pair) == 2
+                    and all(isinstance(x, int) for x in pair)):
+                raise ValueError(f"malformed coefficient in key: {text!r}")
+            pairs.append((pair[0], pair[1]))
+        atoms.append((rel, const, tuple(pairs)))
+    return tuple(atoms)
+
+
 # ---------------------------------------------------------------------------
 # Memoization
 # ---------------------------------------------------------------------------
@@ -98,11 +137,16 @@ class SolverCache:
     Entries are namespaced by backend name — different backends give
     different (one-sided) answers to the same system, so they must not
     share verdicts.  Counters accumulate over the cache's lifetime.
+
+    All operations are guarded by a lock so one cache can back the
+    driver's concurrent workers; the uncontended acquire is trivially
+    cheap next to any backend call.
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple[str, CanonicalKey], bool] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -113,26 +157,44 @@ class SolverCache:
     def lookup(self, backend: str, key: CanonicalKey) -> bool | None:
         """The cached verdict, or ``None`` on a miss."""
         entry = (backend, key)
-        if entry not in self._entries:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(entry)
-        self.hits += 1
-        return self._entries[entry]
+        with self._lock:
+            if entry not in self._entries:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(entry)
+            self.hits += 1
+            return self._entries[entry]
 
     def store(self, backend: str, key: CanonicalKey, verdict: bool) -> int:
         """Record a verdict; returns how many entries were evicted."""
-        self._entries[(backend, key)] = verdict
-        self._entries.move_to_end((backend, key))
-        evicted = 0
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            evicted += 1
-        return evicted
+        with self._lock:
+            self._entries[(backend, key)] = verdict
+            self._entries.move_to_end((backend, key))
+            evicted = 0
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            return evicted
+
+    def preload(self, backend: str, key: CanonicalKey, verdict: bool) -> None:
+        """Seed one entry without touching the hit/miss/eviction
+        counters (used when warming from the driver's on-disk cache)."""
+        with self._lock:
+            self._entries[(backend, key)] = verdict
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def entries(self) -> Iterator[tuple[str, CanonicalKey, bool]]:
+        """Snapshot of the cache contents, LRU-first (for persistence)."""
+        with self._lock:
+            snapshot = list(self._entries.items())
+        for (backend, key), verdict in snapshot:
+            yield backend, key, verdict
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass
@@ -157,6 +219,20 @@ class SolverTelemetry:
         self.tier_seconds[tier] = self.tier_seconds.get(tier, 0.0) + elapsed
         if decided:
             self.decisions[tier] = self.decisions.get(tier, 0) + 1
+
+    def merge(self, other: "SolverTelemetry") -> None:
+        """Fold another telemetry into this one (the parallel driver
+        gives each worker thread its own instance, then merges — no
+        counter races, no locks on the hot path)."""
+        self.queries += other.queries
+        self.unsat += other.unsat
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        for tier, count in other.decisions.items():
+            self.decisions[tier] = self.decisions.get(tier, 0) + count
+        for tier, seconds in other.tier_seconds.items():
+            self.tier_seconds[tier] = self.tier_seconds.get(tier, 0.0) + seconds
 
     def lines(self) -> list[str]:
         """Human-readable summary block (``CheckReport.summary`` and

@@ -1,0 +1,140 @@
+"""The on-disk verdict store: round-trips, atomicity, corruption."""
+
+import json
+import os
+
+from repro.driver.cache import CACHE_FILENAME, DiskCache
+from repro.driver.hashing import SCHEMA_VERSION
+from repro.indices.linear import Atom, LinComb
+from repro.solver.portfolio import SolverCache, canonical_key
+
+
+def some_key():
+    # x - 3 >= 0
+    return canonical_key([Atom(">=", LinComb(coeffs=(("x", 1),), const=-3))])
+
+
+def filled_memory_cache() -> SolverCache:
+    cache = SolverCache()
+    cache.store("fourier", some_key(), True)
+    return cache
+
+
+class TestRoundTrip:
+    def test_solver_and_decl_layers_survive_a_reload(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        assert disk.absorb(filled_memory_cache()) == 1
+        disk.decl_store("abc123", [("sub#1", True, "")])
+        disk.save()
+
+        fresh = DiskCache(tmp_path)
+        assert not fresh.corrupt
+        assert fresh.loaded_solver == 1
+        assert fresh.loaded_decls == 1
+        assert fresh.decl_lookup("abc123") == [("sub#1", True, "")]
+
+        seeded = SolverCache()
+        assert fresh.seed(seeded) == 1
+        assert seeded.lookup("fourier", some_key()) is True
+        # Seeding must not count as a hit in the seeded cache's stats.
+        assert seeded.hits == 1  # the lookup just above, nothing else
+
+    def test_absorb_counts_only_new_entries(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        assert disk.absorb(filled_memory_cache()) == 1
+        assert disk.absorb(filled_memory_cache()) == 0
+        assert disk.solver_entry_count == 1
+
+    def test_missing_file_is_a_clean_cold_start(self, tmp_path):
+        disk = DiskCache(tmp_path / "never-written")
+        assert not disk.corrupt
+        assert disk.loaded_solver == disk.loaded_decls == 0
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.decl_store("k", [("sub#1", True, "")])
+        disk.save()
+        assert sorted(os.listdir(tmp_path)) == [CACHE_FILENAME]
+
+    def test_clear_removes_the_file(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.decl_store("k", [("sub#1", True, "")])
+        disk.save()
+        disk.clear()
+        assert disk.decl_lookup("k") is None
+        assert not (tmp_path / CACHE_FILENAME).exists()
+        assert DiskCache(tmp_path).loaded_decls == 0
+
+
+class TestCorruption:
+    def write(self, tmp_path, text: str) -> None:
+        (tmp_path / CACHE_FILENAME).write_text(text)
+
+    def test_garbage_bytes(self, tmp_path):
+        self.write(tmp_path, "{not json")
+        disk = DiskCache(tmp_path)
+        assert disk.corrupt
+        assert disk.loaded_solver == disk.loaded_decls == 0
+
+    def test_wrong_schema_version(self, tmp_path):
+        self.write(
+            tmp_path,
+            json.dumps(
+                {"version": SCHEMA_VERSION + 1, "solver": {}, "decls": {}}
+            ),
+        )
+        assert DiskCache(tmp_path).corrupt
+
+    def test_malformed_canonical_key(self, tmp_path):
+        self.write(
+            tmp_path,
+            json.dumps(
+                {
+                    "version": SCHEMA_VERSION,
+                    "solver": {"fourier": {"[[1,2,3]]": True}},
+                    "decls": {},
+                }
+            ),
+        )
+        disk = DiskCache(tmp_path)
+        assert disk.corrupt
+        assert disk.loaded_solver == 0
+
+    def test_non_boolean_verdict(self, tmp_path):
+        from repro.solver.portfolio import encode_key
+
+        self.write(
+            tmp_path,
+            json.dumps(
+                {
+                    "version": SCHEMA_VERSION,
+                    "solver": {"fourier": {encode_key(some_key()): "yes"}},
+                    "decls": {},
+                }
+            ),
+        )
+        assert DiskCache(tmp_path).corrupt
+
+    def test_malformed_goal_record(self, tmp_path):
+        self.write(
+            tmp_path,
+            json.dumps(
+                {
+                    "version": SCHEMA_VERSION,
+                    "solver": {},
+                    "decls": {"abc": [["sub#1", True]]},
+                }
+            ),
+        )
+        disk = DiskCache(tmp_path)
+        assert disk.corrupt
+        assert disk.decl_lookup("abc") is None
+
+    def test_corrupt_file_is_overwritten_on_save(self, tmp_path):
+        self.write(tmp_path, "{not json")
+        disk = DiskCache(tmp_path)
+        disk.decl_store("k", [("sub#1", True, "")])
+        disk.save()
+        fresh = DiskCache(tmp_path)
+        assert not fresh.corrupt
+        assert fresh.decl_lookup("k") == [("sub#1", True, "")]

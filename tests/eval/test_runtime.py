@@ -1,0 +1,77 @@
+"""Runtime primitive and counter regressions."""
+
+from dataclasses import MISSING, fields
+
+import pytest
+
+from repro import api
+from repro.eval.interp import Interpreter
+from repro.eval.runtime import RuntimeStats, _nth, _nth_ck
+from repro.eval.values import from_pylist
+from repro.lang.errors import TagError
+
+
+def make(source: str):
+    report = api.check(source, "<test>")
+    return Interpreter(
+        report.program, report.eliminable_sites(), env=report.env
+    )
+
+
+class TestCheckedNthNegative:
+    """Regression: checked ``nth`` silently returned the head for a
+    negative index (the ``while i > 0`` walk never entered)."""
+
+    def test_nth_ck_raises_on_negative_index(self):
+        lst = from_pylist([10, 20, 30])
+        stats = RuntimeStats()
+        with pytest.raises(TagError, match="negative"):
+            _nth_ck((lst, -1), stats)
+        assert stats.tag_checks_performed == 1
+
+    def test_nth_checked_path_raises_on_negative_index(self):
+        lst = from_pylist([10, 20, 30])
+        with pytest.raises(TagError, match="negative"):
+            _nth((lst, -5), RuntimeStats(), True)
+
+    def test_nth_checked_path_still_reads_valid_indices(self):
+        lst = from_pylist([10, 20, 30])
+        assert _nth((lst, 0), RuntimeStats(), True) == 10
+        assert _nth((lst, 2), RuntimeStats(), True) == 30
+
+    def test_interpreter_checked_nth_negative(self):
+        # Unprovable bound: the site stays checked at runtime.
+        interp = make("fun f(l, n) = nth(l, n)")
+        assert interp.call("f", (from_pylist([1, 2, 3]), 1)) == 2
+        with pytest.raises(TagError, match="negative"):
+            interp.call("f", (from_pylist([1, 2, 3]), -1))
+
+    def test_interpreter_nth_ck_negative(self):
+        interp = make("fun f(l, n) = nthCK(l, n)")
+        with pytest.raises(TagError, match="negative"):
+            interp.call("f", (from_pylist([1, 2, 3]), -2))
+
+
+class TestRuntimeStatsReset:
+    def test_reset_covers_every_field(self):
+        stats = RuntimeStats()
+        for spec in fields(stats):
+            # Poison each counter with a value distinct from its default.
+            setattr(stats, spec.name, 9999)
+        stats.reset()
+        for spec in fields(stats):
+            expected = (
+                spec.default_factory()
+                if spec.default_factory is not MISSING
+                else spec.default
+            )
+            assert getattr(stats, spec.name) == expected, spec.name
+
+    def test_reset_restores_derived_totals(self):
+        stats = RuntimeStats()
+        stats.bound_checks_performed = 3
+        stats.tag_checks_performed = 4
+        assert stats.checks_performed == 7
+        stats.reset()
+        assert stats.checks_performed == 0
+        assert stats.checks_eliminated == 0

@@ -155,3 +155,28 @@ class TestCommands:
         )
         assert main(["run", str(path), "rev2", "([1, 2, 3], [])"]) == 0
         assert capsys.readouterr().out.strip() == "[3, 2, 1]"
+
+
+class TestCheckCorpus:
+    def test_single_program_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["check-corpus", "bsearch", "--jobs", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "bsearch" in cold
+        assert "0/" in cold.split("decl cache:")[1]  # no hits yet
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "goal(s) replayed" in warm
+        decl_line = warm.split("decl cache:")[1].splitlines()[0]
+        assert "0 hit(s)" not in decl_line
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        assert main(["check-corpus", "bsearch", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 verdict(s) preloaded" in out
+
+    def test_unknown_program_is_an_argument_error(self, capsys):
+        assert main(["check-corpus", "nope"]) == 2
+        assert "unknown corpus program" in capsys.readouterr().err
