@@ -1,0 +1,48 @@
+"""CI smoke: cold and warm corpus runs produce identical verdicts.
+
+The driver's persisted cache and the interned IR both promise to be
+behaviour-invisible: whatever caching, hash-consing, or parallel
+scheduling happens, the per-goal verdicts must be byte-identical
+between a cold run (empty cache) and a warm replay, at any worker
+count.  This script is the cheap end-to-end check of that promise.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import driver
+
+
+def verdicts(report):
+    return [(row.program, row.verdicts) for row in report.rows]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-parity") as tmp:
+        cold = driver.check_corpus(jobs=1, cache_dir=tmp, clear=True)
+        warm = driver.check_corpus(jobs=1, cache_dir=tmp)
+        cold_par = driver.check_corpus(jobs=4, cache_dir=None)
+
+    if not cold.all_ok:
+        print("cold corpus run failed", file=sys.stderr)
+        return 1
+    if verdicts(warm) != verdicts(cold):
+        print("warm verdicts diverged from cold", file=sys.stderr)
+        return 1
+    if verdicts(cold_par) != verdicts(cold):
+        print("parallel verdicts diverged from sequential", file=sys.stderr)
+        return 1
+    if warm.hit_rate < 0.90:
+        print(f"warm cache hit rate {warm.hit_rate:.2f} < 0.90", file=sys.stderr)
+        return 1
+    print(
+        f"parity ok: {cold.goals} goals, warm hit rate {warm.hit_rate:.0%}, "
+        f"jobs 1 == jobs 4"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,6 @@ statistics reported in Table 1.
 
 from __future__ import annotations
 
-import copy
 import threading
 import time
 from dataclasses import dataclass, field
@@ -167,8 +166,11 @@ class CheckReport:
 # ``check`` call, yet it used to run *inside* the timed generation
 # window — inflating Table 1's generation column and slowing every
 # corpus/bench run.  We infer the prelude once into a template
-# inferencer and hand each check a deep copy (inference mutates the
-# inferencer's env/scope, so the template itself must stay pristine).
+# inferencer and hand each check a fork: the immutable payloads
+# (schemes, types, interned index terms) are shared read-only, and
+# only the small mutable registries are copied, so a check's own
+# declarations (exceptions, typerefs, value bindings, unifier
+# solutions) can never leak into the template or into other checks.
 
 _PRELUDE_LOCK = threading.Lock()
 _PRELUDE_TEMPLATE: MLInferencer | None = None
@@ -184,9 +186,9 @@ def _prelude_inferencer() -> MLInferencer:
             inferencer.infer_program(prelude)
             _PRELUDE_TEMPLATE = inferencer
         template = _PRELUDE_TEMPLATE
-    # The template is never mutated after construction, so copying
+    # The template is never mutated after construction, so forking
     # outside the lock is safe (and keeps concurrent checks parallel).
-    return copy.deepcopy(template)
+    return template.fork()
 
 
 def reset_prelude_cache() -> None:

@@ -75,6 +75,12 @@ def main(argv: list[str] | None = None) -> int:
     print("Driver: parallel + incrementally-cached whole-corpus checking")
     print("=" * 72)
     print(tables.render_driver(harness.driver_table()))
+    print()
+
+    print("=" * 72)
+    print("Intern table: hash-consed IR and memoized normalization")
+    print("=" * 72)
+    print(tables.render_intern(harness.intern_table()))
     return 0
 
 

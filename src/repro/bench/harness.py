@@ -16,7 +16,10 @@
 * :func:`driver_table` — the parallel, incrementally-cached checking
   driver on the whole corpus: sequential-cold vs. parallel-cold vs.
   warm (persisted verdicts) wall clock, cache hit rates, worker
-  utilization.
+  utilization,
+* :func:`intern_table` — hash-consing effectiveness: cold-check wall
+  clock, intern-table occupancy, and the hit rate of every memoized
+  per-node analysis (free variables, linearization, canonical keys).
 """
 
 from __future__ import annotations
@@ -495,4 +498,76 @@ def driver_table(jobs: int | None = None, backend: str = "fourier") -> list[Driv
                     utilization=report.utilization,
                 )
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Intern table: hash-consing and memoized normalization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InternRow:
+    """One line of the intern/memo effectiveness table."""
+
+    label: str
+    value: str
+    detail: str = ""
+
+    def cells(self) -> list[str]:
+        return [self.label, self.value, self.detail]
+
+
+def intern_table(backend: str = "fourier") -> list[InternRow]:
+    """Hash-consing effectiveness on one cold full-corpus check.
+
+    Resets the intern/memo counters (never the table — live nodes keep
+    their identity), clears the prelude template and portfolio caches,
+    runs the sequential driver cold, and reports construction sharing
+    plus the hit rate of every per-node memo.  A construction "hit"
+    means some earlier construction already interned the node, so the
+    allocation (and every memoized analysis on it) was shared.
+    """
+    from repro import driver
+    from repro.indices import intern
+    from repro.solver import portfolio
+
+    api.reset_prelude_cache()
+    portfolio.reset_global_state()
+    intern.reset_stats()
+
+    started = time.perf_counter()
+    report = driver.check_corpus(jobs=1, cache_dir=None, backend=backend)
+    wall = time.perf_counter() - started
+    assert report.all_ok, "corpus run failed during intern bench"
+
+    stats = intern.intern_stats()
+    constructions = stats["hits"] + stats["misses"]
+    share = stats["hits"] / constructions if constructions else 0.0
+    ck_hits, ck_misses = portfolio.canonical_key_stats()
+
+    rows = [
+        InternRow("cold corpus wall (ms)", f"{wall * 1000:.1f}", "jobs=1, no disk cache"),
+        InternRow("interned nodes live", str(stats["live"]), "weakrefs keep the table tight"),
+        InternRow(
+            "constructions shared",
+            f"{stats['hits']}/{constructions} ({share:.0%})",
+            "hit = node already interned",
+        ),
+    ]
+    for name, (hits, misses) in stats["memo"].items():
+        calls = hits + misses
+        rate = hits / calls if calls else 0.0
+        rows.append(
+            InternRow(f"memo {name}", f"{hits}/{calls} ({rate:.0%})", "per-node slot")
+        )
+    ck_calls = ck_hits + ck_misses
+    ck_rate = ck_hits / ck_calls if ck_calls else 0.0
+    rows.append(
+        InternRow(
+            "memo solver canonical_key",
+            f"{ck_hits}/{ck_calls} ({ck_rate:.0%})",
+            "cache-key lru over atom systems",
+        )
+    )
     return rows

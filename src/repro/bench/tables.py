@@ -63,3 +63,8 @@ def render_existentials(rows) -> str:
         for r in rows
     ]
     return render_table(headers, body)
+
+
+def render_intern(rows) -> str:
+    headers = ["intern/memo metric", "value", "notes"]
+    return render_table(headers, [r.cells() for r in rows])

@@ -20,6 +20,13 @@ branch, or a quantifier pushes a frame; introductions (universal index
 variables, hypotheses) recorded in a frame wrap every constraint
 generated later in that frame, which keeps types mentioning freshly
 opened existential witnesses well-scoped for the rest of the block.
+
+This phase is the heaviest producer and consumer of index terms; it
+leans on the interned IR throughout — ``terms.subst``/``subst_evars``
+short-circuit on memoized free-variable sets (substituting into a
+subtree that cannot mention the target returns the *same* node), and
+every structurally repeated guard or bound condition across clauses
+is one shared object, not a fresh tree.
 """
 
 from __future__ import annotations

@@ -122,6 +122,42 @@ class GlobalEnv:
     def add_value(self, info: ValueInfo) -> None:
         self.values[info.name] = info
 
+    # -- forking ----------------------------------------------------------
+
+    def fork(self) -> "GlobalEnv":
+        """An independent environment continuing from this one's state.
+
+        Shares the immutable payloads (schemes, sorts, types — all
+        frozen or interned) but copies every mutable record: later
+        declarations mutate :class:`Family` (``typeref`` fills
+        ``index_sorts``; ``exception`` appends to the ``exn`` family's
+        constructor list) and :class:`ConInfo` (``typeref`` replaces
+        ``scheme``), so the memoized prelude template must hand each
+        check its own copies.  Cheap: a few dozen small records.
+        """
+        clone = GlobalEnv.__new__(GlobalEnv)
+        clone.families = {
+            name: Family(
+                f.name,
+                f.tyvar_count,
+                list(f.index_sorts),
+                list(f.constructors),
+                f.builtin,
+                list(f.variances),
+            )
+            for name, f in self.families.items()
+        }
+        clone.constructors = {
+            name: ConInfo(c.name, c.family, c.has_arg, c.scheme)
+            for name, c in self.constructors.items()
+        }
+        clone.values = {
+            name: ValueInfo(v.name, v.kind, v.scheme, v.site_kind)
+            for name, v in self.values.items()
+        }
+        clone.abbrevs = dict(self.abbrevs)
+        return clone
+
     # -- queries --------------------------------------------------------
 
     def is_constructor(self, name: str) -> bool:

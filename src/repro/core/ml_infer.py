@@ -66,6 +66,12 @@ class _Scope:
                 return frame[name]
         return None
 
+    def fork(self) -> "_Scope":
+        """Copy the frame stack (schemes themselves are immutable)."""
+        clone = _Scope({})
+        clone.frames = [dict(frame) for frame in self.frames]
+        return clone
+
     def monotype_bodies(self) -> list[ml.MLType]:
         """The bodies of all monomorphic bindings currently in scope.
 
@@ -88,6 +94,24 @@ class MLInferencer:
         self.scope = _Scope({})
         # (node, raw type) pairs zonked after each top-level declaration.
         self._pending: list[tuple[object, ml.MLType]] = []
+
+    def fork(self) -> "MLInferencer":
+        """An independent inferencer continuing from this one's state.
+
+        Used by :mod:`repro.api` to share the elaborated prelude: the
+        template is forked per ``check`` call instead of deep-copied.
+        Everything immutable (schemes, types, interned index terms) is
+        shared; the mutable registries (:meth:`GlobalEnv.fork`, the
+        unifier's substitution, the scope frames) are copied, so no
+        declaration processed by the fork can leak into the template
+        or into sibling checks.
+        """
+        clone = MLInferencer.__new__(MLInferencer)
+        clone.env = self.env.fork()
+        clone.unifier = self.unifier.fork()
+        clone.scope = self.scope.fork()
+        clone._pending = list(self._pending)
+        return clone
 
     # -- entry points -----------------------------------------------------
 

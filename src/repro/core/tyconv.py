@@ -8,6 +8,12 @@ Implements the normalization conventions of Section 2.3:
   "a smooth boundary between annotated and unannotated programs";
 * type abbreviations (``type intPrefix = ...``) expand transparently;
 * index variables must be bound by an enclosing quantifier.
+
+Index expressions embedded in surface types are already interned
+(the parser builds them through the hash-consing constructors), so
+conversion never copies them: the semantic types produced here share
+index nodes with the AST and with every other type mentioning the
+same expression.
 """
 
 from __future__ import annotations

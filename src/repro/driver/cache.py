@@ -18,6 +18,11 @@ The file is JSON (human-inspectable, no dependencies) and written
 atomically (temp file + ``os.replace``).  A corrupted, truncated, or
 schema-incompatible file is treated as absent: the driver logs nothing,
 solves cold, and overwrites it with fresh state on save.
+
+Like the hashing layer, everything stored here is content-derived:
+canonical goal keys quotient by variable renaming and never mention
+the interned IR's process-local node ids, so a cache written by one
+process is exactly as warm for the next.
 """
 
 from __future__ import annotations

@@ -15,6 +15,12 @@ and everything after it (conservatively invalidating any possible
 dependent) while declarations before *k* keep their cached verdicts.
 Reordering, inserting, or deleting declarations likewise invalidates
 exactly the suffix from the first changed position.
+
+Invariant: every key here is derived from program *content* (source
+text, backend name, schema version) and never from in-memory object
+identity.  The interned index-term IR assigns process-local node ids
+(``IndexTerm.nid``) — those must never leak into these digests, or
+the persisted cache would silently stop matching across processes.
 """
 
 from __future__ import annotations

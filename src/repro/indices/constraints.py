@@ -6,6 +6,12 @@
 Constraints are produced by elaboration (:mod:`repro.core.elaborate`)
 and consumed by :mod:`repro.solver.simplify`, which flattens them into
 universally quantified linear implication *goals*.
+
+Like the index terms they embed, constraints are hash-consed through
+:mod:`repro.indices.intern`: construction returns the unique node for
+the class and fields (spans and sorts included), equality is identity,
+and structurally identical constraint trees — e.g. the same guard
+generated at every use of a prelude operator — are stored once.
 """
 
 from __future__ import annotations
@@ -13,24 +19,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.indices import terms
+from repro.indices.intern import Interned
 from repro.indices.sorts import Sort
 from repro.indices.terms import IndexTerm
 from repro.lang.source import DUMMY_SPAN, Span
 
 
-class Constraint:
-    """Base class of constraint formulas."""
+class Constraint(metaclass=Interned):
+    """Base class of constraint formulas (interned, identity-equal)."""
 
-    __slots__ = ()
+    __slots__ = ("_nid", "__weakref__")
+
+    @property
+    def nid(self) -> int:
+        """Process-local unique node id (assigned at intern time)."""
+        return self._nid  # type: ignore[attr-defined]
+
+    def __reduce__(self):
+        cls = type(self)
+        return (cls, tuple(getattr(self, name) for name in cls.__match_args__))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CTrue(Constraint):
     def __str__(self) -> str:
         return "T"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CProp(Constraint):
     """An atomic boolean index obligation, tagged with its origin.
 
@@ -47,7 +63,7 @@ class CProp(Constraint):
         return str(self.prop)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CAnd(Constraint):
     left: Constraint
     right: Constraint
@@ -56,7 +72,7 @@ class CAnd(Constraint):
         return f"({self.left} /\\ {self.right})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CImpl(Constraint):
     """``hyp ==> body`` — hypotheses arise from pattern matching,
     branch conditions, and quantifier guards."""
@@ -68,7 +84,7 @@ class CImpl(Constraint):
         return f"({self.hyp} ==> {self.body})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CForall(Constraint):
     var: str
     sort: Sort
@@ -78,7 +94,7 @@ class CForall(Constraint):
         return f"forall {self.var}:{self.sort}. {self.body}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class CExists(Constraint):
     var: str
     sort: Sort

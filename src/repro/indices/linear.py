@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import gcd
 
+from repro.indices.intern import memo_counter
 from repro.indices.terms import (
     BinOp,
     Cmp,
@@ -173,12 +174,40 @@ ELIMINABLE_OPS = frozenset({"div", "mod", "min", "max"})
 ELIMINABLE_UNOPS = frozenset({"abs", "sgn"})
 
 
+_LIN_MEMO = memo_counter("linearize")
+
+
 def linearize(term: IndexTerm) -> LinComb:
     """Translate an integer index term to a linear combination.
 
     Raises :class:`NonLinearIndex` for products of non-constants and
     :class:`UnsupportedIndex` for operators requiring elimination.
+
+    The result — including a raised ``NonLinearIndex`` or
+    ``UnsupportedIndex`` — is memoized on the interned node (``_lin``
+    slot), so each distinct term is linearized at most once per
+    process no matter how many goals, hypotheses, or solver passes
+    mention it.
     """
+    try:
+        cached = term._lin  # type: ignore[attr-defined]
+    except AttributeError:
+        _LIN_MEMO.misses += 1
+    else:
+        _LIN_MEMO.hits += 1
+        if isinstance(cached, Exception):
+            raise cached
+        return cached
+    try:
+        result = _linearize(term)
+    except (NonLinearIndex, UnsupportedIndex) as exc:
+        object.__setattr__(term, "_lin", exc)
+        raise
+    object.__setattr__(term, "_lin", result)
+    return result
+
+
+def _linearize(term: IndexTerm) -> LinComb:
     if isinstance(term, IConst):
         return LinComb.of_const(term.value)
     if isinstance(term, IVar):
@@ -257,12 +286,30 @@ class Atom:
         return f"{self.lhs} {'>=' if self.rel == '>=' else '='} 0"
 
 
+_ATOMS_MEMO = memo_counter("atoms_of_cmp")
+
+
 def atoms_of_cmp(cmp_term: Cmp) -> list[list[Atom]]:
     """Translate a comparison into DNF over atoms.
 
     The result is a list of disjuncts, each a conjunction of atoms.  All
     comparisons except ``<>`` yield a single disjunct; ``<>`` yields two.
+
+    The translation is memoized on the interned node (``_atoms`` slot,
+    stored as immutable tuples); the returned lists are fresh on every
+    call, so callers may extend or concatenate them freely.
     """
+    try:
+        cached = cmp_term._atoms  # type: ignore[attr-defined]
+        _ATOMS_MEMO.hits += 1
+    except AttributeError:
+        _ATOMS_MEMO.misses += 1
+        cached = tuple(tuple(d) for d in _atoms_of_cmp(cmp_term))
+        object.__setattr__(cmp_term, "_atoms", cached)
+    return [list(disjunct) for disjunct in cached]
+
+
+def _atoms_of_cmp(cmp_term: Cmp) -> list[list[Atom]]:
     left = linearize(cmp_term.left)
     right = linearize(cmp_term.right)
     diff = left - right  # left - right REL 0

@@ -10,6 +10,16 @@ Type indices are integer and boolean expressions::
 Terms are immutable; existential (unification) variables are
 represented by :class:`EVar` nodes whose solutions live in an external
 :class:`EvarStore`, keeping the term language purely functional.
+
+Terms are also *hash-consed* (:mod:`repro.indices.intern`): every
+constructor call — including the raw dataclass calls below — returns
+the unique interned node for its class and fields, so structural
+equality coincides with identity, ``==``/``hash`` are O(1), and the
+traversal results below (:func:`free_vars`, :func:`free_evars`,
+:func:`canonical_key`, plus :func:`repro.indices.linear.linearize`)
+are memoized once per distinct node, process-wide.  Do not mutate
+nodes and do not bypass the constructors (``object.__new__`` etc.) —
+every invariant in the solver pipeline now leans on sharing.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+from repro.indices.intern import Interned, memo_counter
 from repro.lang.errors import EvalError
 
 # ---------------------------------------------------------------------------
@@ -24,10 +35,39 @@ from repro.lang.errors import EvalError
 # ---------------------------------------------------------------------------
 
 
-class IndexTerm:
-    """Base class of all index expressions (integer- or boolean-sorted)."""
+class IndexTerm(metaclass=Interned):
+    """Base class of all index expressions (integer- or boolean-sorted).
 
-    __slots__ = ()
+    Equality and hashing are *identity* (sound because construction is
+    hash-consed).  The extra slots hold the node id and the lazily
+    computed per-node memos; they are written at most once, via
+    ``object.__setattr__``, and never invalidated (terms are
+    immutable).
+    """
+
+    __slots__ = (
+        "_nid",
+        "_fv",
+        "_fev",
+        "_lin",
+        "_ckey",
+        "_atoms",
+        "_elim",
+        "_dnf",
+        "__weakref__",
+    )
+
+    @property
+    def nid(self) -> int:
+        """Process-local unique node id (assigned at intern time)."""
+        return self._nid  # type: ignore[attr-defined]
+
+    def __reduce__(self):
+        # Pickle/copy/deepcopy rebuild through the constructor, so a
+        # round-trip re-interns: loads(dumps(t)) is t in-process, and
+        # a fresh process gets its own canonical node.
+        cls = type(self)
+        return (cls, tuple(getattr(self, name) for name in cls.__match_args__))
 
     def __add__(self, other: "IndexTerm | int") -> "IndexTerm":
         return iadd(self, _coerce(other))
@@ -54,7 +94,7 @@ def _coerce(value: "IndexTerm | int") -> "IndexTerm":
     return IConst(value)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class IVar(IndexTerm):
     """A rigid (universally bound) index variable."""
 
@@ -64,7 +104,7 @@ class IVar(IndexTerm):
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class EVar(IndexTerm):
     """An existential index variable awaiting a witness.
 
@@ -80,7 +120,7 @@ class EVar(IndexTerm):
         return f"{self.hint}${self.uid}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class IConst(IndexTerm):
     value: int
 
@@ -88,7 +128,7 @@ class IConst(IndexTerm):
         return str(self.value)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class BinOp(IndexTerm):
     """Integer binary operator: ``+ - * div mod min max``."""
 
@@ -102,7 +142,7 @@ class BinOp(IndexTerm):
         return f"{self.op}({self.left}, {self.right})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class UnOp(IndexTerm):
     """Integer unary operator: ``neg abs sgn``."""
 
@@ -115,7 +155,7 @@ class UnOp(IndexTerm):
         return f"{self.op}({self.arg})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class BConst(IndexTerm):
     value: bool
 
@@ -133,7 +173,7 @@ CMP_NEGATION = {"<": ">=", "<=": ">", "=": "<>", "<>": "=", ">=": "<", ">": "<="
 CMP_FLIP = {"<": ">", "<=": ">=", "=": "=", "<>": "<>", ">=": "<=", ">": "<"}
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Cmp(IndexTerm):
     """Integer comparison yielding a boolean index."""
 
@@ -145,7 +185,7 @@ class Cmp(IndexTerm):
         return f"{self.left} {self.op} {self.right}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Not(IndexTerm):
     arg: IndexTerm
 
@@ -153,7 +193,7 @@ class Not(IndexTerm):
         return f"not ({self.arg})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class And(IndexTerm):
     left: IndexTerm
     right: IndexTerm
@@ -162,7 +202,7 @@ class And(IndexTerm):
         return f"({self.left} /\\ {self.right})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Or(IndexTerm):
     left: IndexTerm
     right: IndexTerm
@@ -321,7 +361,11 @@ def children(term: IndexTerm) -> tuple[IndexTerm, ...]:
 
 
 def subterms(term: IndexTerm) -> Iterator[IndexTerm]:
-    """Pre-order iterator over all subterms (including ``term``)."""
+    """Pre-order iterator over all subterms (including ``term``).
+
+    With hash-consing this walks the term as a DAG-shaped tree: shared
+    nodes are yielded once per *occurrence*, preserving the historical
+    multiset semantics."""
     stack = [term]
     while stack:
         node = stack.pop()
@@ -329,14 +373,96 @@ def subterms(term: IndexTerm) -> Iterator[IndexTerm]:
         stack.extend(children(node))
 
 
-def free_vars(term: IndexTerm) -> set[str]:
-    """Names of all rigid variables occurring in ``term``."""
-    return {node.name for node in subterms(term) if isinstance(node, IVar)}
+_EMPTY_STRS: frozenset[str] = frozenset()
+_EMPTY_EVARS: "frozenset[EVar]" = frozenset()
+_FV_MEMO = memo_counter("free_vars")
+_FEV_MEMO = memo_counter("free_evars")
+_CKEY_MEMO = memo_counter("canonical_key")
 
 
-def free_evars(term: IndexTerm) -> set[EVar]:
-    """All existential variables occurring in ``term``."""
-    return {node for node in subterms(term) if isinstance(node, EVar)}
+def free_vars(term: IndexTerm) -> frozenset[str]:
+    """Names of all rigid variables occurring in ``term``.
+
+    Memoized once per interned node (``_fv`` slot)."""
+    try:
+        cached = term._fv  # type: ignore[attr-defined]
+        _FV_MEMO.hits += 1
+        return cached
+    except AttributeError:
+        _FV_MEMO.misses += 1
+    if isinstance(term, IVar):
+        result = frozenset((term.name,))
+    else:
+        result = _EMPTY_STRS
+        for kid in children(term):
+            kid_vars = free_vars(kid)
+            if kid_vars:
+                result = result | kid_vars if result else kid_vars
+    object.__setattr__(term, "_fv", result)
+    return result
+
+
+def free_evars(term: IndexTerm) -> "frozenset[EVar]":
+    """All existential variables occurring in ``term``.
+
+    Memoized once per interned node (``_fev`` slot)."""
+    try:
+        cached = term._fev  # type: ignore[attr-defined]
+        _FEV_MEMO.hits += 1
+        return cached
+    except AttributeError:
+        _FEV_MEMO.misses += 1
+    if isinstance(term, EVar):
+        result = frozenset((term,))
+    else:
+        result = _EMPTY_EVARS
+        for kid in children(term):
+            kid_evars = free_evars(kid)
+            if kid_evars:
+                result = result | kid_evars if result else kid_evars
+    object.__setattr__(term, "_fev", result)
+    return result
+
+
+def canonical_key(term: IndexTerm) -> tuple:
+    """A content-derived structural key for ``term``.
+
+    Unlike the node id (process-local, allocation-ordered), this key is
+    a pure function of the term's structure: equal across processes,
+    safe to hash into persistent artifacts, and memoized per node
+    (``_ckey`` slot).  The solver-level
+    :func:`repro.solver.portfolio.canonical_key` additionally quotients
+    by variable renaming; this one distinguishes variables by name."""
+    try:
+        cached = term._ckey  # type: ignore[attr-defined]
+        _CKEY_MEMO.hits += 1
+        return cached
+    except AttributeError:
+        _CKEY_MEMO.misses += 1
+    if isinstance(term, IVar):
+        key: tuple = ("var", term.name)
+    elif isinstance(term, EVar):
+        key = ("evar", term.uid, term.hint)
+    elif isinstance(term, IConst):
+        key = ("int", term.value)
+    elif isinstance(term, BConst):
+        key = ("bool", term.value)
+    elif isinstance(term, BinOp):
+        key = ("binop", term.op, canonical_key(term.left), canonical_key(term.right))
+    elif isinstance(term, UnOp):
+        key = ("unop", term.op, canonical_key(term.arg))
+    elif isinstance(term, Cmp):
+        key = ("cmp", term.op, canonical_key(term.left), canonical_key(term.right))
+    elif isinstance(term, Not):
+        key = ("not", canonical_key(term.arg))
+    elif isinstance(term, And):
+        key = ("and", canonical_key(term.left), canonical_key(term.right))
+    elif isinstance(term, Or):
+        key = ("or", canonical_key(term.left), canonical_key(term.right))
+    else:
+        raise AssertionError(f"unknown index term {term!r}")
+    object.__setattr__(term, "_ckey", key)
+    return key
 
 
 def _rebuild(term: IndexTerm, new_children: tuple[IndexTerm, ...]) -> IndexTerm:
@@ -368,29 +494,40 @@ def transform(term: IndexTerm, fn: Callable[[IndexTerm], IndexTerm | None]) -> I
 
 def subst(term: IndexTerm, mapping: Mapping[str, IndexTerm]) -> IndexTerm:
     """Capture-free substitution of rigid variables (index terms bind
-    no variables, so capture cannot occur)."""
+    no variables, so capture cannot occur).
+
+    Subtrees whose memoized :func:`free_vars` are disjoint from the
+    mapping are returned unchanged — the identity short-circuit — so a
+    substitution touches only the spine above actual occurrences."""
     if not mapping:
         return term
+    targets = frozenset(mapping)
 
-    def replace(node: IndexTerm) -> IndexTerm | None:
+    def go(node: IndexTerm) -> IndexTerm:
+        if free_vars(node).isdisjoint(targets):
+            return node
         if isinstance(node, IVar):
-            return mapping.get(node.name)
-        return None
+            return mapping.get(node.name, node)
+        return _rebuild(node, tuple(go(kid) for kid in children(node)))
 
-    return transform(term, replace)
+    return go(term)
 
 
 def subst_evars(term: IndexTerm, mapping: Mapping[EVar, IndexTerm]) -> IndexTerm:
-    """Substitute solved existential variables."""
+    """Substitute solved existential variables (with the same identity
+    short-circuit as :func:`subst`, over :func:`free_evars`)."""
     if not mapping:
         return term
+    targets = frozenset(mapping)
 
-    def replace(node: IndexTerm) -> IndexTerm | None:
+    def go(node: IndexTerm) -> IndexTerm:
+        if free_evars(node).isdisjoint(targets):
+            return node
         if isinstance(node, EVar):
-            return mapping.get(node)
-        return None
+            return mapping.get(node, node)
+        return _rebuild(node, tuple(go(kid) for kid in children(node)))
 
-    return transform(term, replace)
+    return go(term)
 
 
 def rename(term: IndexTerm, mapping: Mapping[str, str]) -> IndexTerm:
@@ -556,10 +693,18 @@ class EvarStore:
         return True
 
     def resolve(self, term: IndexTerm) -> IndexTerm:
-        """Substitute all solved evars, to a fixed point."""
+        """Substitute all solved evars, to a fixed point.
+
+        The common case — a term whose evars are all unsolved, or a
+        fully resolved term revisited — costs one memoized
+        :func:`free_evars` lookup and no rebuilding."""
         while True:
-            present = free_evars(term)
-            solved = {ev: self._solutions[ev] for ev in present if ev in self._solutions}
+            solved: dict[EVar, IndexTerm] | None = None
+            for ev in free_evars(term):
+                if ev in self._solutions:
+                    if solved is None:
+                        solved = {}
+                    solved[ev] = self._solutions[ev]
             if not solved:
                 return term
             term = subst_evars(term, solved)

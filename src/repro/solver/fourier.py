@@ -17,6 +17,11 @@ needed to type-check the optimized byte-copy function.
 The procedure remains *incomplete* over the integers (rationally
 satisfiable but integrally unsatisfiable systems can survive); the
 complete :mod:`repro.solver.omega` backend exists for comparison.
+
+Inputs arrive as :class:`repro.indices.linear.Atom` systems produced
+by the memoized ``linearize``/``atoms_of_cmp`` layer over the interned
+IR — repeated goals over the same comparisons reuse their translation,
+so this module only ever pays for the elimination itself.
 """
 
 from __future__ import annotations

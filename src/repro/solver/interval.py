@@ -6,7 +6,9 @@ closely related *bounds propagation* discipline: every variable carries
 an integer interval, and each linear inequality repeatedly tightens the
 interval of each of its variables given the others' current bounds,
 with integer rounding (ceil/floor) built in.  An empty interval proves
-unsatisfiability.
+unsatisfiability.  (Like every backend, it consumes ``Atom`` systems
+from the memoized linearization layer over the interned IR; repeated
+goals never re-translate their comparisons.)
 
 All arithmetic is exact: bounds are Python ``int`` (``None`` meaning
 unbounded), never floats.  A float in the bound computation would lose

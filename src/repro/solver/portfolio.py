@@ -34,6 +34,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterator, Sequence
 
 from repro.indices.linear import Atom
@@ -87,6 +88,30 @@ def canonical_key(atoms: Sequence[Atom]) -> CanonicalKey:
         coeffs.sort()
         renamed.append((atom.rel, atom.lhs.const, tuple(coeffs)))
     return tuple(sorted(renamed))
+
+
+@lru_cache(maxsize=8192)
+def _canonical_key_cached(atoms: tuple[Atom, ...]) -> CanonicalKey:
+    return canonical_key(atoms)
+
+
+def memoized_canonical_key(atoms: Sequence[Atom]) -> CanonicalKey:
+    """:func:`canonical_key`, memoized on the atom tuple.
+
+    With hash-consed terms an :class:`Atom`'s hash bottoms out in O(1)
+    identity hashes of its variables, so the lookup is cheap; repeated
+    queries over the same goal shapes (warm driver runs, shared prelude
+    obligations) skip the sort-and-rename entirely.  Process-local
+    only — the persistent codec (:func:`encode_key`) always receives
+    the content-derived key itself, never anything id-dependent.
+    """
+    return _canonical_key_cached(tuple(atoms))
+
+
+def canonical_key_stats() -> tuple[int, int]:
+    """(hits, misses) of the canonical-key memo (bench accounting)."""
+    info = _canonical_key_cached.cache_info()
+    return info.hits, info.misses
 
 
 def encode_key(key: CanonicalKey) -> str:
@@ -357,7 +382,7 @@ def instrument(
         telemetry.queries += 1
         key: CanonicalKey | None = None
         if cache is not None:
-            key = canonical_key(atoms)
+            key = memoized_canonical_key(atoms)
             hit = cache.lookup(backend.name, key)
             if hit is not None:
                 telemetry.cache_hits += 1
@@ -415,6 +440,7 @@ def default_differential() -> Backend:
 
 def reset_global_state() -> None:
     """Fresh global cache/telemetry (test isolation)."""
+    _canonical_key_cached.cache_clear()
     GLOBAL_CACHE.clear()
     GLOBAL_CACHE.hits = GLOBAL_CACHE.misses = GLOBAL_CACHE.evictions = 0
     GLOBAL_TELEMETRY.queries = GLOBAL_TELEMETRY.unsat = 0

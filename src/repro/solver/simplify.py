@@ -271,9 +271,35 @@ class _Definitions:
         return IVar(f"${hint}{self.counter}")
 
 
+_ELIM_BINOPS = frozenset({"div", "mod", "min", "max"})
+_ELIM_UNOPS = frozenset({"abs", "sgn"})
+
+
+def _needs_elimination(term: IndexTerm) -> bool:
+    """Does any subterm carry an operator :func:`_eliminate_ops` must
+    rewrite?  Memoized on the interned node (``_elim`` slot) — goal
+    hypotheses repeat across the goals of a declaration and across
+    programs sharing the prelude, so the common all-linear case reduces
+    to one slot read instead of a full traversal."""
+    try:
+        return term._elim  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    if isinstance(term, BinOp) and term.op in _ELIM_BINOPS:
+        result = True
+    elif isinstance(term, UnOp) and term.op in _ELIM_UNOPS:
+        result = True
+    else:
+        result = any(_needs_elimination(kid) for kid in terms.children(term))
+    object.__setattr__(term, "_elim", result)
+    return result
+
+
 def _eliminate_ops(term: IndexTerm, defs: _Definitions) -> IndexTerm:
     """Rewrite eliminable integer operators to fresh variables, adding
     their defining constraints to ``defs.props``."""
+    if not _needs_elimination(term):
+        return term
 
     def rewrite(node: IndexTerm) -> IndexTerm | None:
         if isinstance(node, BinOp) and node.op in {"div", "mod"}:
@@ -394,8 +420,32 @@ def _define_sgn(node: UnOp, defs: _Definitions) -> IndexTerm:
 _MAX_CASES = 4096
 
 
-def _split_cases(formula: IndexTerm) -> list[list[IndexTerm]]:
-    """DNF of a boolean index term, as a list of literal lists."""
+def _split_cases(formula: IndexTerm) -> tuple[tuple[IndexTerm, ...], ...]:
+    """DNF of a boolean index term, as a tuple of literal tuples.
+
+    Memoized on the interned node (``_dnf`` slot) — the same goal
+    formula recurs whenever a prelude obligation is re-proved for
+    another program, and subformulas recur within one program's case
+    splits.  A ``UnsupportedGoal`` (case explosion) is cached and
+    re-raised the same way."""
+    try:
+        cached = formula._dnf  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    else:
+        if isinstance(cached, Exception):
+            raise cached
+        return cached
+    try:
+        result = _split_cases_uncached(formula)
+    except UnsupportedGoal as exc:
+        object.__setattr__(formula, "_dnf", exc)
+        raise
+    object.__setattr__(formula, "_dnf", result)
+    return result
+
+
+def _split_cases_uncached(formula: IndexTerm) -> tuple[tuple[IndexTerm, ...], ...]:
     if isinstance(formula, And):
         result = []
         for left in _split_cases(formula.left):
@@ -403,15 +453,15 @@ def _split_cases(formula: IndexTerm) -> list[list[IndexTerm]]:
                 result.append(left + right)
                 if len(result) > _MAX_CASES:
                     raise UnsupportedGoal("case explosion during DNF split")
-        return result
+        return tuple(result)
     if isinstance(formula, Or):
         return _split_cases(formula.left) + _split_cases(formula.right)
     if isinstance(formula, Not):
         inner = formula.arg
         if isinstance(inner, (IVar, EVar)):
-            return [[formula]]  # negated boolean variable literal
+            return ((formula,),)  # negated boolean variable literal
         return _split_cases(_negate(inner))
-    return [[formula]]
+    return ((formula,),)
 
 
 def _negate(formula: IndexTerm) -> IndexTerm:
@@ -429,7 +479,9 @@ def _negate(formula: IndexTerm) -> IndexTerm:
     return Not(formula)
 
 
-def _case_to_atom_sets(literals: list[IndexTerm]) -> list[list[Atom]] | None:
+def _case_to_atom_sets(
+    literals: "tuple[IndexTerm, ...] | list[IndexTerm]",
+) -> list[list[Atom]] | None:
     """Convert one DNF case into conjunctions of linear atoms.
 
     Returns ``None`` when the case is propositionally unsatisfiable

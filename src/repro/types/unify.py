@@ -27,6 +27,17 @@ class Unifier:
         self._next_uid += 1
         return var
 
+    def fork(self) -> "Unifier":
+        """An independent unifier continuing from this substitution.
+
+        Solutions are immutable ML types, so only the dictionary needs
+        copying; fresh variables allocated by either side never
+        collide because the uid counter is carried over."""
+        clone = Unifier()
+        clone._next_uid = self._next_uid
+        clone._solutions = dict(self._solutions)
+        return clone
+
     def prune(self, ty: MLType) -> MLType:
         """Follow solution chains at the head of a type."""
         while isinstance(ty, MLVar) and ty in self._solutions:

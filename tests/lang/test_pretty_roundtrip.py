@@ -1,0 +1,96 @@
+"""Full-corpus pretty-printer round-trip over the interned IR.
+
+``tests/lang/test_pretty.py`` checks a hand-picked subset with a purely
+structural comparator.  This module sweeps *every* bundled program (plus
+the prelude) and uses the hash-consed core directly: index terms inside
+the two parses must be the **same object**, because both parses build
+their terms through the interning constructors.  Identity here is not
+an optimization of the assertion — it is the assertion: if pretty/parse
+perturbed an index expression in any way, the re-parse would intern a
+different node.
+"""
+
+import pytest
+
+from repro import programs
+from repro.indices.terms import IndexTerm
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+FULL_CORPUS = sorted(programs.available()) + ["prelude"]
+
+
+def ast_identical(a, b) -> bool:
+    """Structural equality ignoring spans, with interned index terms
+    compared by identity (O(1) per term, and strictly stronger than a
+    field walk: it also proves both parses interned into one table)."""
+    if isinstance(a, IndexTerm) or isinstance(b, IndexTerm):
+        return a is b
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            ast_identical(x, y) for x, y in zip(a, b)
+        )
+    if hasattr(a, "__dataclass_fields__"):
+        return all(
+            ast_identical(getattr(a, field), getattr(b, field))
+            for field in a.__dataclass_fields__
+            if field != "span"
+        )
+    return a == b
+
+
+def load(name: str) -> str:
+    if name == "prelude":
+        return programs.prelude_source()
+    return programs.load_source(name)
+
+
+def test_corpus_is_complete():
+    """Guard against the sweep silently shrinking: every bundled
+    program must be in the parametrization below."""
+    assert set(FULL_CORPUS) == set(programs.available()) | {"prelude"}
+
+
+@pytest.mark.parametrize("name", FULL_CORPUS)
+def test_full_corpus_roundtrip_interned(name):
+    original = parse_program(load(name), name)
+    printed = pretty_program(original)
+    reparsed = parse_program(printed, f"{name}-pretty")
+    assert len(original.decls) == len(reparsed.decls)
+    for i, (a, b) in enumerate(zip(original.decls, reparsed.decls)):
+        assert ast_identical(a, b), (
+            f"round-trip changed declaration #{i} of {name}"
+        )
+
+
+@pytest.mark.parametrize("name", FULL_CORPUS)
+def test_reparse_shares_index_terms(name):
+    """Two independent parses of the same source intern identical index
+    terms — the memoized-normalization payoff the driver relies on."""
+    first = parse_program(load(name), name)
+    second = parse_program(load(name), name)
+    firsts = _index_terms(first)
+    seconds = _index_terms(second)
+    assert len(firsts) == len(seconds)
+    for a, b in zip(firsts, seconds):
+        assert a is b
+
+
+def _index_terms(node, acc=None):
+    """All IndexTerm nodes in the surface AST, in traversal order."""
+    if acc is None:
+        acc = []
+    if isinstance(node, IndexTerm):
+        acc.append(node)
+        return acc
+    if isinstance(node, (list, tuple)):
+        for item in node:
+            _index_terms(item, acc)
+        return acc
+    if hasattr(node, "__dataclass_fields__"):
+        for field in node.__dataclass_fields__:
+            if field != "span":
+                _index_terms(getattr(node, field), acc)
+    return acc

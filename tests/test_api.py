@@ -134,6 +134,53 @@ class TestPreludeMemoization:
         with pytest.raises(MLTypeError):
             api.check("fun g(x) = leaky(x)")
 
+    def test_exception_declarations_do_not_leak(self):
+        # ``exception`` appends to the shared exn family's constructor
+        # list; the fork must copy that list so check A's declaration
+        # is invisible to check B.
+        from repro.lang.errors import MLTypeError
+
+        api.check("exception Oops fun f(x) = if x then raise Oops else 1")
+        with pytest.raises(MLTypeError):
+            api.check("fun g(x) = if x then raise Oops else 1")
+
+    def test_typeref_refinements_do_not_leak(self):
+        # ``typeref`` mutates Family.index_sorts and replaces each
+        # ConInfo.scheme in place.  A later check declaring the same
+        # datatype must start from the unrefined template, not see the
+        # previous check's refinement.
+        refined = (
+            "datatype box = EMPTY | FULL of int "
+            "typeref box of nat with EMPTY <| box(0) | FULL <| int -> box(1) "
+        )
+        assert api.check(refined).structural_ok
+        # Same datatype, no typeref: must elaborate as plain ML (no
+        # stale index sorts demanding indices on box).
+        assert api.check(
+            "datatype box = EMPTY | FULL of int fun mk(x) = FULL(x)"
+        ).all_proved
+        # And re-refining from scratch still works.
+        assert api.check(refined).structural_ok
+
+    def test_forks_share_prelude_payloads_without_aliasing_registries(self):
+        # The fork shares immutable payloads (schemes) by identity but
+        # never the mutable registries themselves — no deepcopy, no
+        # aliasing.
+        r1, r2 = api.check(GOOD), api.check(GOOD)
+        assert r1.env is not r2.env
+        assert r1.env.values is not r2.env.values
+        for name, info in r1.env.values.items():
+            assert r2.env.values[name].scheme is info.scheme
+
+    def test_evar_solutions_do_not_leak_between_checks(self):
+        # Each check gets a fresh EvarStore; solving existentials for
+        # one program must not perturb a repeat check of another.
+        first = api.check(GOOD)
+        api.check(BAD)
+        again = api.check(GOOD)
+        assert again.all_proved
+        assert again.stats.evars_solved == first.stats.evars_solved
+
     def test_generation_time_is_per_program_work_only(self):
         import time
 
