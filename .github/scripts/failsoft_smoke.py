@@ -1,0 +1,84 @@
+"""CI smoke: pathological goals degrade, they never crash the CLI.
+
+Generates a DML program whose index hypotheses fan out exponentially
+(each ``{k:int | k <> 0}`` quantifier doubles the DNF case count) plus
+a deep transitive-chain constraint, then drives ``repro check`` over it
+under a tight ``--budget`` and a tiny ``--goal-timeout``.  The fail-soft
+contract under test: the process exits with the ordinary "unsolved"
+status (1), reports kept checks with a ``fail-soft`` summary line, and
+prints no traceback.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def adversarial_program(fanout: int) -> str:
+    quants = " ".join("{k%d:int | k%d <> 0}" % (i, i) for i in range(fanout))
+    return (
+        "fun f(a, i) = sub(a, i) where f <| "
+        + quants
+        + " {n:nat} {i:int | 0 <= i /\\ i < n} 'a array(n) * int(i) -> 'a\n"
+    )
+
+
+def run_check(path: str, *flags: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check", path, *flags],
+        capture_output=True,
+        text=True,
+    )
+
+
+def expect(proc: subprocess.CompletedProcess, label: str) -> int:
+    blob = proc.stdout + proc.stderr
+    if proc.returncode != 1:
+        print(f"{label}: expected exit 1 (unsolved), got {proc.returncode}",
+              file=sys.stderr)
+        print(blob, file=sys.stderr)
+        return 1
+    if "Traceback" in blob:
+        print(f"{label}: a traceback leaked through fail-soft handling",
+              file=sys.stderr)
+        print(blob, file=sys.stderr)
+        return 1
+    if "fail-soft" not in proc.stdout:
+        print(f"{label}: summary is missing the fail-soft line",
+              file=sys.stderr)
+        print(blob, file=sys.stderr)
+        return 1
+    print(f"{label}: degraded cleanly (exit 1, fail-soft reported)")
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-failsoft") as tmp:
+        path = str(Path(tmp) / "adversarial.dml")
+        Path(path).write_text(adversarial_program(fanout=12))
+
+        failures = expect(run_check(path, "--budget", "60"), "tight budget")
+        failures += expect(
+            run_check(path, "--budget", "0", "--goal-timeout", "1e-9"),
+            "tiny deadline",
+        )
+
+        # Sanity: the same program is *provable* once the budget is
+        # lifted — the degradation above was the budget, not the goal.
+        full = run_check(path, "--budget", "0")
+        if full.returncode != 0:
+            print("unlimited run failed to prove the adversarial program",
+                  file=sys.stderr)
+            print(full.stdout + full.stderr, file=sys.stderr)
+            failures += 1
+        else:
+            print("unlimited run: all goals proved (budget was the only cause)")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

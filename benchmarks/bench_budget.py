@@ -1,0 +1,71 @@
+"""Cost of the fail-soft budget layer.
+
+Two claims, each load-bearing for making budgets the default:
+
+* **invisibility** — on the bundled corpus the default budget changes
+  no verdict, and its bookkeeping (a counter decrement per pivot /
+  elimination plus a stride-sampled clock) stays in the noise next to
+  an unlimited run;
+* **boundedness** — a tight budget actually bounds work: an
+  adversarial goal that fans out exponentially returns a degraded
+  ``unknown`` verdict quickly instead of burning the full default
+  envelope.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.bench.workloads import TABLE_ORDER, WORKLOADS
+from repro.solver.budget import SolverLimits
+
+_CORPUS = [WORKLOADS[d].program for d in TABLE_ORDER]
+
+#: 2**10 disequality cases per goal: provable, but only with real work.
+_ADVERSARIAL = (
+    "fun f(a, i) = sub(a, i) where f <| "
+    + " ".join("{k%d:int | k%d <> 0}" % (i, i) for i in range(10))
+    + " {n:nat} {i:int | 0 <= i /\\ i < n} 'a array(n) * int(i) -> 'a\n"
+)
+
+
+@pytest.mark.parametrize("program", _CORPUS)
+def test_default_budget_is_verdict_invisible(program):
+    unlimited = api.check_corpus(program, limits=SolverLimits.unlimited())
+    budgeted = api.check_corpus(program)
+    assert [(r.goal.origin, r.proved, r.reason) for r in budgeted.goal_results] == [
+        (r.goal.origin, r.proved, r.reason) for r in unlimited.goal_results
+    ]
+    assert budgeted.stats.budget_exhausted == 0
+
+
+def test_tight_budget_bounds_adversarial_work():
+    started = time.perf_counter()
+    report = api.check(_ADVERSARIAL, limits=SolverLimits(max_steps=60))
+    degraded_wall = time.perf_counter() - started
+    assert report.stats.budget_exhausted > 0
+    started = time.perf_counter()
+    full = api.check(_ADVERSARIAL)
+    full_wall = time.perf_counter() - started
+    assert full.all_proved
+    assert degraded_wall < full_wall
+
+
+def test_default_budget_overhead_benchmark(benchmark):
+    """pytest-benchmark hook: the whole corpus under the default budget
+    (compare against an ``unlimited()`` run to price the bookkeeping)."""
+
+    def run():
+        total = 0
+        for program in _CORPUS:
+            report = api.check_corpus(program)
+            assert report.stats.budget_exhausted == 0
+            total += report.stats.proved
+        return total
+
+    proved = benchmark(run)
+    benchmark.extra_info["goals_proved"] = proved
+    assert proved > 0

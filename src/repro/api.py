@@ -41,6 +41,7 @@ from repro.solver.portfolio import (
     SolverTelemetry,
     instrument,
 )
+from repro.solver.budget import SolverLimits
 from repro.solver.simplify import GoalResult, SolveStats, prove_all
 
 
@@ -134,6 +135,12 @@ class CheckReport:
             f"generation time:  {self.generation_seconds * 1000:.2f} ms",
             f"solve time:       {self.solve_seconds * 1000:.2f} ms",
         ]
+        if self.stats.budget_exhausted or self.stats.contained_crashes:
+            lines.append(
+                f"fail-soft:        {self.stats.budget_exhausted} "
+                f"budget-exhausted goal(s), {self.stats.contained_crashes} "
+                f"contained crash(es) (checks kept)"
+            )
         if self.telemetry is not None and self.telemetry.queries:
             lines.extend(self.telemetry.lines())
         for result in self.failed_goals:
@@ -250,6 +257,7 @@ def check(
     include_prelude: bool = True,
     cache: SolverCache | bool | None = None,
     telemetry: SolverTelemetry | None = None,
+    limits: SolverLimits | None = None,
 ) -> CheckReport:
     """Run the full static pipeline on ``source``.
 
@@ -260,6 +268,12 @@ def check(
     disable.  ``telemetry`` accumulates solver statistics; pass one
     instance to several checks to aggregate, or leave ``None`` for a
     fresh per-report one (surfaced by :meth:`CheckReport.summary`).
+
+    ``limits`` caps the per-goal proof effort (step budget and/or
+    wall-clock timeout).  Solving is *fail-soft*: a goal that exhausts
+    its budget — or whose backend crashes — is recorded as unproved
+    with a reason and its run-time check is kept; ``check`` itself
+    never raises for solver trouble.
     """
     backend, telemetry = _resolve_backend(backend, cache, telemetry)
 
@@ -270,9 +284,13 @@ def check(
     solve_started = time.perf_counter()
     goal_results: list[GoalResult] = []
     for dc in elab.decl_constraints:
-        goal_results.extend(prove_all(dc.constraint, store, backend, stats))
-    warnings = _unreachable_warnings(elab, store, backend, src)
+        goal_results.extend(
+            prove_all(dc.constraint, store, backend, stats, limits=limits)
+        )
+    warnings = _unreachable_warnings(elab, store, backend, src, limits)
     solve_seconds = time.perf_counter() - solve_started
+    telemetry.budget_exhausted += stats.budget_exhausted
+    telemetry.contained_crashes += stats.contained_crashes
 
     return CheckReport(
         name=name,
@@ -318,7 +336,11 @@ def _resolve_backend(
 
 
 def _unreachable_warnings(
-    elab: ElabResult, store: EvarStore, backend: Backend, src: SourceFile
+    elab: ElabResult,
+    store: EvarStore,
+    backend: Backend,
+    src: SourceFile,
+    limits: SolverLimits | None = None,
 ) -> list[str]:
     """Index-aware dead-code detection: a branch whose hypotheses are
     contradictory can never execute (e.g. the nil clause of a match on
@@ -329,14 +351,14 @@ def _unreachable_warnings(
     warnings = []
     for probe in elab.probes:
         goal = Goal(probe.rigid, probe.hyps, terms.FALSE)
-        if prove_goal(goal, store, backend).proved:
+        if prove_goal(goal, store, backend, limits=limits).proved:
             warnings.append(
                 f"{src.describe(probe.span)}: unreachable {probe.what} "
                 f"(index hypotheses are contradictory)"
             )
     for missing in elab.coverage:
         goal = Goal(missing.rigid, missing.hyps, terms.FALSE)
-        if not prove_goal(goal, store, backend).proved:
+        if not prove_goal(goal, store, backend, limits=limits).proved:
             warnings.append(
                 f"{src.describe(missing.span)}: match may not be "
                 f"exhaustive (missing: {missing.missing})"
@@ -349,7 +371,15 @@ def check_corpus(
     backend: Backend | str = "fourier",
     cache: SolverCache | bool | None = None,
     telemetry: SolverTelemetry | None = None,
+    limits: SolverLimits | None = None,
 ) -> CheckReport:
     """Check one of the bundled corpus programs by name."""
     source = programs.load_source(program_name)
-    return check(source, f"{program_name}.dml", backend, cache=cache, telemetry=telemetry)
+    return check(
+        source,
+        f"{program_name}.dml",
+        backend,
+        cache=cache,
+        telemetry=telemetry,
+        limits=limits,
+    )

@@ -31,22 +31,40 @@ from repro.eval.interp import Interpreter
 from repro.eval.values import from_pylist, render
 from repro.lang.errors import DMLError
 from repro.solver.backends import backend_names
+from repro.solver.budget import DEFAULT_LIMITS, SolverLimits
 
 
 def _read(path: str) -> str:
     return Path(path).read_text()
 
 
+def _limits(args: argparse.Namespace) -> SolverLimits | None:
+    """Build per-goal solver limits from ``--budget``/``--goal-timeout``.
+
+    ``None`` (no flag given) keeps the defaults; ``--budget 0`` lifts
+    the step cap entirely.
+    """
+    budget = getattr(args, "budget", None)
+    timeout = getattr(args, "goal_timeout", None)
+    if budget is None and timeout is None:
+        return None
+    max_steps = DEFAULT_LIMITS.max_steps
+    if budget is not None:
+        max_steps = budget if budget > 0 else None
+    goal_timeout = timeout if timeout is not None and timeout > 0 else None
+    return SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache)
+                       cache=args.cache, limits=_limits(args))
     print(report.summary())
     return 0 if report.all_proved else 1
 
 
 def cmd_goals(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache)
+                       cache=args.cache, limits=_limits(args))
     store = report.elab.store
     for result in report.goal_results:
         status = "solved  " if result.proved else "UNSOLVED"
@@ -70,7 +88,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     from repro.compile.pycodegen import compile_program
 
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache)
+                       cache=args.cache, limits=_limits(args))
     unchecked = report.eliminable_sites()
     module = compile_program(
         report.program, report.env, unchecked, Path(args.file).stem
@@ -127,7 +145,7 @@ def _split_commas(text: str) -> list[str]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache)
+                       cache=args.cache, limits=_limits(args))
     unchecked = report.eliminable_sites() if not args.always_check else set()
     interp = Interpreter(report.program, unchecked, env=report.env)
     call_args = [_parse_value(a) for a in args.args]
@@ -163,14 +181,18 @@ def cmd_certify(args: argparse.Namespace) -> int:
     from repro.compile.certificate import issue_certificate, verify_certificate
 
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache)
-    if not report.all_proved:
-        print("error: cannot certify a program with unsolved constraints",
-              file=sys.stderr)
+                       cache=args.cache, limits=_limits(args))
+    if not report.structural_ok:
+        print("error: cannot certify: structural obligations failed "
+              "(some annotation is unjustified)", file=sys.stderr)
         for line in report.explain():
             print(f"  {line}", file=sys.stderr)
         return 1
     certificate = issue_certificate(report)
+    kept = len(report.sites) - len(report.eliminable_sites())
+    if kept:
+        print(f"note: {kept} site(s) keep their run-time checks "
+              f"(unproved obligations; not certified)", file=sys.stderr)
     print(certificate.render())
     result = verify_certificate(certificate, backend=args.verifier)
     print(f"verification ({args.verifier}): "
@@ -197,6 +219,7 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
         executor=args.executor,
         cache_dir=None if args.no_cache else args.cache_dir,
         clear=args.clear_cache,
+        limits=_limits(args),
     )
     print(report.render())
     return 0 if report.all_ok else 1
@@ -230,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache", action="store_true",
                        help="memoize solver verdicts on canonical goal "
                             "keys (shared across the process)")
+        budget_flags(p)
+
+    def budget_flags(p):
+        p.add_argument("--budget", type=int, default=None, metavar="STEPS",
+                       help="per-goal solver step budget (fail-soft: an "
+                            "exhausted goal keeps its run-time check; "
+                            "0 = unlimited)")
+        p.add_argument("--goal-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-goal wall-clock deadline (fail-soft, "
+                            "like --budget; 0 = no deadline)")
 
     p_check = sub.add_parser("check", help="type-check a program")
     common(p_check)
@@ -292,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument(
         "--clear-cache", action="store_true",
         help="wipe the persisted verdicts first (guaranteed-cold run)")
+    budget_flags(p_corpus)
     p_corpus.set_defaults(fn=cmd_check_corpus)
 
     p_bench = sub.add_parser("bench", help="regenerate the paper's tables")

@@ -80,14 +80,26 @@ class SafetyCertificate:
 
 
 def issue_certificate(report: CheckReport) -> SafetyCertificate:
-    """Produce a certificate from a fully checked program.
+    """Produce a certificate covering exactly the eliminated checks.
 
-    Raises :class:`ValueError` when the program has unproved
-    obligations — an unsafe program cannot be certified.
+    The certificate mirrors the per-site elimination policy
+    (:meth:`~repro.api.CheckReport.eliminable_sites`): it contains the
+    structural goals (which every elimination assumes) plus the
+    obligations of each *eliminated* site.  Sites that keep their
+    run-time checks — unproved, budget-exhausted, or crashed
+    obligations — are simply absent: their safety is enforced
+    dynamically, so there is nothing to certify (and nothing a
+    consumer's re-validation could fail on).
+
+    Raises :class:`ValueError` only when a *structural* goal is
+    unproved — then no elimination is justified and no certificate can
+    exist.  ``guard:``-tagged division obligations are never part of a
+    certificate; they do not justify any eliminated check.
     """
-    if not report.all_proved:
+    if not report.structural_ok:
         raise ValueError(
-            "cannot certify a program with unsolved constraints"
+            "cannot certify: structural obligations failed "
+            "(some annotation is unjustified)"
         )
     store = report.elab.store
 
@@ -100,18 +112,20 @@ def issue_certificate(report: CheckReport) -> SafetyCertificate:
             location=report.source.describe(goal.span),
         )
 
+    eliminated = report.eliminable_sites()
     sites: dict[str, tuple[str, list[Obligation]]] = {
         site_id: (info.op, [])
         for site_id, info in report.sites.items()
+        if site_id in eliminated
     }
     structural: list[Obligation] = []
     for result in report.goal_results:
-        frozen = freeze(result.goal)
         origin = result.goal.origin
         if origin in sites:
-            sites[origin][1].append(frozen)
-        else:
-            structural.append(frozen)
+            sites[origin][1].append(freeze(result.goal))
+        elif not origin:
+            structural.append(freeze(result.goal))
+        # Kept-site and guard: obligations are enforced at run time.
     return SafetyCertificate(report.name, sites, structural)
 
 

@@ -2,12 +2,23 @@
 
 Given a :class:`~repro.api.CheckReport`, decide for every dependent
 array/list operation call site whether its run-time check may be
-omitted.  The policy is deliberately program-granular and fail-closed
-(see DESIGN.md): a site is unchecked only when *every* proof obligation
-of the program discharged, because the hypotheses under which one
-site's bound conditions were proved are the ``where``-annotations of
-enclosing functions, whose own guard obligations arise at *other*
-sites.  ``*CK`` operations never appear here — they always check.
+omitted.  The policy is *per-site* and fail-closed (see DESIGN.md,
+mirrored by :meth:`~repro.api.CheckReport.eliminable_sites`):
+
+* **Structural goals gate everything.**  Site proofs assume the
+  program's annotated invariants (``where``-clauses, result
+  subsumptions, existential witnesses); those invariants are exactly
+  what the structural goals — the ones with an empty origin —
+  establish.  One failed structural goal therefore vetoes every
+  elimination: no proof that leans on an unjustified annotation can
+  be trusted.
+* **Site goals gate only their own site.**  Once the structural goals
+  hold, each check site stands or falls on its own obligations: a
+  failed (or budget-exhausted) bound proof at one access keeps *that*
+  site's run-time check and leaves every independently proved site
+  unchecked.
+
+``*CK`` operations never appear here — they always check.
 """
 
 from __future__ import annotations
@@ -22,10 +33,16 @@ from repro.core.elaborate import SiteInfo
 class EliminationPlan:
     """Which check sites compile to unchecked accesses."""
 
+    #: Did *every* obligation discharge?  Diagnostic only — elimination
+    #: is per-site (``unchecked``); a program with one failed site goal
+    #: still eliminates the others.
     program_proved: bool
     sites: dict[str, SiteInfo]
+    #: The eliminable sites (structural goals all hold, and the site's
+    #: own obligations discharged) — the decision consumers act on.
     unchecked: set[str]
-    #: Per-site proof status (diagnostic; elimination uses program level).
+    #: Per-site proof status over the site's own goals (ignores the
+    #: structural gate, so a site may be "proved" yet still checked).
     site_proved: dict[str, bool]
 
     @property

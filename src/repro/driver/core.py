@@ -40,6 +40,7 @@ from repro.driver.cache import DiskCache, GoalRecord
 from repro.driver.hashing import decl_keys, prelude_hash
 from repro.indices.terms import EvarStore
 from repro.solver.backends import Backend
+from repro.solver.budget import SolverLimits
 from repro.solver.portfolio import (
     SolverCache,
     SolverTelemetry,
@@ -140,6 +141,7 @@ def check_program(
     include_prelude: bool = True,
     seed: bool = True,
     persist: bool = True,
+    limits: SolverLimits | None = None,
 ) -> DriverReport:
     """Check one program with parallel goal solving and incremental
     verdict replay.
@@ -154,6 +156,11 @@ def check_program(
     ``disk`` enables the two persistence layers; ``seed=False`` skips
     preloading (the corpus driver seeds a shared cache once), and
     ``persist=False`` skips the write-back (ditto).
+
+    ``limits`` bounds each goal's proof effort (fail-soft: exhaustion
+    or a backend crash records the goal unproved and the batch
+    continues).  Each *goal* gets its own budget/deadline, so one
+    pathological goal cannot starve its worker's siblings.
     """
     jobs = _effective_jobs(jobs)
     telemetry = telemetry if telemetry is not None else SolverTelemetry()
@@ -234,13 +241,14 @@ def check_program(
     ) -> tuple[int, int, GoalResult, float]:
         di, gi, goal, snapshot = task
         task_started = time.perf_counter()
-        result = prove_goal(goal, snapshot, worker_backend())
+        result = prove_goal(goal, snapshot, worker_backend(), limits=limits)
         return di, gi, result, time.perf_counter() - task_started
 
     if pending:
         if jobs == 1:
             outcomes = [
-                (di, gi, prove_goal(goal, snapshot, main_backend),
+                (di, gi,
+                 prove_goal(goal, snapshot, main_backend, limits=limits),
                  0.0)
                 for di, gi, goal, snapshot in pending
             ]
@@ -266,15 +274,29 @@ def check_program(
             solve_stats.proved += 1
         else:
             solve_stats.failed += 1
+        if result.budget_exhausted:
+            solve_stats.budget_exhausted += 1
+        if result.crashed:
+            solve_stats.contained_crashes += 1
     stats.goals = solve_stats.goals
+    telemetry.budget_exhausted += solve_stats.budget_exhausted
+    telemetry.contained_crashes += solve_stats.contained_crashes
 
-    warnings = api._unreachable_warnings(elab, store, main_backend, front.source)
+    warnings = api._unreachable_warnings(
+        elab, store, main_backend, front.source, limits
+    )
     stats.solve_seconds = time.perf_counter() - solve_started
 
     # -- persistence ----------------------------------------------------
     if disk is not None:
         for decl_key, results in zip(decl_cache_keys, slots):
             if decl_key is None:
+                continue
+            if any(r.budget_exhausted or r.crashed for r in results):
+                # A degraded verdict ("ran out of budget" / "backend
+                # crashed") is not a fact about the declaration; pinning
+                # it on disk would replay the failure even under a
+                # bigger budget or a fixed backend.  Re-solve next run.
                 continue
             disk.decl_store(
                 decl_key,
@@ -339,6 +361,10 @@ class ProgramResult:
     queries: int
     cache_hits: int
     cache_misses: int
+    #: Goals degraded to unproved on budget/deadline exhaustion.
+    budget_exhausted: int = 0
+    #: Goals whose backend crash was contained.
+    contained_crashes: int = 0
     verdicts: list[GoalRecord] = field(repr=False, default_factory=list)
 
     @property
@@ -381,6 +407,8 @@ def _program_result(name: str, outcome: DriverReport) -> ProgramResult:
         queries=telemetry.queries,
         cache_hits=telemetry.cache_hits,
         cache_misses=telemetry.cache_misses,
+        budget_exhausted=report.stats.budget_exhausted,
+        contained_crashes=report.stats.contained_crashes,
         verdicts=outcome.verdicts,
     )
 
@@ -441,6 +469,14 @@ class CorpusReport:
     def decl_misses(self) -> int:
         return sum(row.decl_misses for row in self.rows)
 
+    @property
+    def budget_exhausted(self) -> int:
+        return sum(row.budget_exhausted for row in self.rows)
+
+    @property
+    def contained_crashes(self) -> int:
+        return sum(row.contained_crashes for row in self.rows)
+
     def render(self) -> str:
         from repro.bench.tables import render_table
 
@@ -466,6 +502,12 @@ class CorpusReport:
             f"{self.decl_misses} miss(es), "
             f"{self.goals_replayed}/{self.goals} goal(s) replayed",
         ]
+        if self.budget_exhausted or self.contained_crashes:
+            lines.append(
+                f"fail-soft:        {self.budget_exhausted} "
+                f"budget-exhausted goal(s), {self.contained_crashes} "
+                f"contained crash(es) (checks kept)"
+            )
         if self.corrupt_cache:
             lines.append(
                 "note:             on-disk cache was corrupt or stale; "
@@ -475,16 +517,25 @@ class CorpusReport:
 
 
 def _check_one_process(
-    args: tuple[str, str, str | None],
+    args: tuple[str, str, str | None, int | None, float | None],
 ) -> tuple[ProgramResult, list[tuple[str, str, bool]], dict[str, list[GoalRecord]]]:
     """Process-pool worker: check one bundled program in isolation.
 
     Reads the on-disk cache directly (read-only), and ships fresh
     solver verdicts and declaration records back to the parent as
     picklable primitives; the parent folds them into its own
-    :class:`DiskCache` and saves once.
+    :class:`DiskCache` and saves once.  Budget limits travel as plain
+    ``(max_steps, goal_timeout)`` primitives — each worker rebuilds the
+    :class:`SolverLimits`, and every goal gets its own deadline anchored
+    when *its* solve starts (a shared absolute deadline would penalize
+    late-scheduled programs).
     """
-    name, backend, cache_dir = args
+    name, backend, cache_dir, max_steps, goal_timeout = args
+    limits = (
+        SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
+        if (max_steps is not None or goal_timeout is not None)
+        else None
+    )
     disk = DiskCache(cache_dir) if cache_dir is not None else None
     cache = SolverCache(maxsize=65536)
     outcome = check_program(
@@ -495,6 +546,7 @@ def _check_one_process(
         cache=cache,
         disk=disk,
         persist=False,
+        limits=limits,
     )
     exported = [
         (backend_name, encode_key(key), verdict)
@@ -512,6 +564,7 @@ def check_corpus(
     executor: str = "thread",
     cache_dir: str | None = None,
     clear: bool = False,
+    limits: SolverLimits | None = None,
 ) -> CorpusReport:
     """Check bundled corpus programs concurrently.
 
@@ -534,7 +587,14 @@ def check_corpus(
     preloaded = 0
 
     if executor == "process" and jobs > 1:
-        tasks = [(name, backend, cache_dir) for name in names]
+        tasks = [
+            (
+                name, backend, cache_dir,
+                limits.max_steps if limits is not None else None,
+                limits.goal_timeout if limits is not None else None,
+            )
+            for name in names
+        ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             outcomes = list(pool.map(_check_one_process, tasks))
         rows = []
@@ -564,6 +624,7 @@ def check_corpus(
                 disk=disk,
                 seed=False,
                 persist=False,
+                limits=limits,
             )
             return _program_result(name, outcome)
 

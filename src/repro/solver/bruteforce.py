@@ -13,24 +13,35 @@ from itertools import product
 from typing import Iterator, Sequence
 
 from repro.indices.linear import Atom, LinVar
+from repro.solver.budget import Budget, resolve_budget
 
 
 def models_in_box(
-    atoms: Sequence[Atom], bound: int
+    atoms: Sequence[Atom], bound: int, budget: Budget | None = None
 ) -> Iterator[dict[LinVar, int]]:
     """Yield every assignment in ``[-bound, bound]^n`` satisfying all
-    atoms, in lexicographic variable order."""
+    atoms, in lexicographic variable order.
+
+    Each candidate assignment spends one budget step; exhaustion raises
+    :class:`~repro.solver.budget.BudgetExhausted` to the caller (an
+    aborted enumeration must never read as "box exhausted, no model").
+    """
+    budget = resolve_budget(budget)
     variables = sorted({v for atom in atoms for v in atom.variables()}, key=repr)
     values = range(-bound, bound + 1)
     for combo in product(values, repeat=len(variables)):
+        if budget is not None:
+            budget.spend()
         env = dict(zip(variables, combo))
         if all(atom.holds(env) for atom in atoms):
             yield env
 
 
-def find_model(atoms: Sequence[Atom], bound: int) -> dict[LinVar, int] | None:
+def find_model(
+    atoms: Sequence[Atom], bound: int, budget: Budget | None = None
+) -> dict[LinVar, int] | None:
     """First satisfying assignment inside the box, or ``None``."""
-    return next(iter(models_in_box(atoms, bound)), None)
+    return next(iter(models_in_box(atoms, bound, budget)), None)
 
 
 def box_bound_sufficient(atoms: Sequence[Atom], bound: int) -> bool:

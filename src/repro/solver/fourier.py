@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.indices.linear import Atom, LinComb, LinVar
+from repro.solver.budget import Budget, BudgetExhausted, resolve_budget
 
 
 @dataclass
@@ -118,7 +119,9 @@ def _find_unit(atom: Atom) -> tuple[LinVar, int] | None:
     return None
 
 
-def _substitute_unit_equalities(atoms: Sequence[Atom]) -> list[Atom] | None:
+def _substitute_unit_equalities(
+    atoms: Sequence[Atom], budget: Budget | None = None
+) -> list[Atom] | None:
     """Use equalities with a +-1 coefficient to eliminate variables.
 
     This mirrors the "eliminate existential variables / solve simple
@@ -136,6 +139,8 @@ def _substitute_unit_equalities(atoms: Sequence[Atom]) -> list[Atom] | None:
     queue: deque[Atom] = deque(atoms)
     done: list[Atom] = []
     while queue:
+        if budget is not None:
+            budget.spend()
         atom = queue.popleft()
         unit = _find_unit(atom)
         if unit is None:
@@ -207,6 +212,7 @@ def fourier_unsat(
     atoms: Sequence[Atom],
     config: FourierConfig | None = None,
     stats: FourierStats | None = None,
+    budget: Budget | None = None,
 ) -> bool:
     """Return ``True`` iff the conjunction of ``atoms`` is shown
     unsatisfiable over the integers.
@@ -215,11 +221,28 @@ def fourier_unsat(
     procedure is complete, so with tightening disabled ``False``
     guarantees rational satisfiability; with tightening enabled the
     answer is still only one-sided.
+
+    Work (eliminations, pair combinations, unit substitutions) spends
+    from the explicit or ambient :class:`Budget`; exhaustion degrades
+    to ``False`` ("unknown"), never an exception.
     """
+    budget = resolve_budget(budget)
+    try:
+        return _fourier_unsat(atoms, config, stats, budget)
+    except BudgetExhausted:
+        return False
+
+
+def _fourier_unsat(
+    atoms: Sequence[Atom],
+    config: FourierConfig | None,
+    stats: FourierStats | None,
+    budget: Budget | None,
+) -> bool:
     config = config or FourierConfig()
     stats = stats if stats is not None else FourierStats()
 
-    pre = _substitute_unit_equalities(list(atoms))
+    pre = _substitute_unit_equalities(list(atoms), budget)
     if pre is None:
         return True
     ineqs = _expand_equalities(pre)
@@ -232,6 +255,8 @@ def fourier_unsat(
             return True
 
     for _ in range(config.max_eliminations):
+        if budget is not None:
+            budget.spend()
         var = _pick_variable(ineqs)
         if var is None:
             # Only constant inequalities remain; all are >= 0 here.
@@ -255,6 +280,8 @@ def fourier_unsat(
             a1 = low.coeff(var)
             for up in uppers:
                 a2 = -up.coeff(var)
+                if budget is not None:
+                    budget.spend()
                 stats.pair_combinations += 1
                 # low: a1*x + L >= 0, up: -a2*x + U >= 0
                 # =>  a2*L + a1*U >= 0

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.indices.linear import Atom, LinComb, LinVar
+from repro.solver.budget import Budget, BudgetExhausted, resolve_budget
 
 
 @dataclass
@@ -55,8 +56,26 @@ def interval_unsat(
     atoms: Sequence[Atom],
     max_passes: int = 64,
     stats: IntervalStats | None = None,
+    budget: Budget | None = None,
 ) -> bool:
-    """``True`` iff bounds propagation derives an empty interval."""
+    """``True`` iff bounds propagation derives an empty interval.
+
+    Each propagation pass spends one budget step per inequality;
+    exhaustion degrades to ``False`` ("unknown"), like the pass cap.
+    """
+    budget = resolve_budget(budget)
+    try:
+        return _interval_unsat(atoms, max_passes, stats, budget)
+    except BudgetExhausted:
+        return False
+
+
+def _interval_unsat(
+    atoms: Sequence[Atom],
+    max_passes: int,
+    stats: IntervalStats | None,
+    budget: Budget | None,
+) -> bool:
     stats = stats if stats is not None else IntervalStats()
 
     ineqs: list[LinComb] = []
@@ -79,6 +98,8 @@ def interval_unsat(
         stats.passes += 1
         changed = False
         for iq in ineqs:
+            if budget is not None:
+                budget.spend()
             if iq.is_const():
                 if iq.const < 0:
                     return True

@@ -34,10 +34,12 @@ from math import floor
 from typing import Sequence
 
 from repro.indices.linear import Atom, LinComb, LinVar
+from repro.solver.budget import Budget, BudgetExhausted, resolve_budget
 
-
-class OmegaBudgetExceeded(Exception):
-    """The configured work budget ran out (caller reports 'unknown')."""
+#: Backwards-compatible alias: exhaustion is now the solver-wide
+#: :class:`~repro.solver.budget.BudgetExhausted` (callers report
+#: 'unknown').
+OmegaBudgetExceeded = BudgetExhausted
 
 
 @dataclass
@@ -49,17 +51,15 @@ class OmegaStats:
 
 @dataclass
 class OmegaConfig:
+    #: Per-call step cap.  When a goal-level budget is active this
+    #: becomes a sub-budget of it, so one omega call can never spend
+    #: more than this even inside a large goal envelope.
     max_steps: int = 100_000
-
-
-class _Budget:
-    def __init__(self, limit: int) -> None:
-        self.remaining = limit
-
-    def spend(self, amount: int = 1) -> None:
-        self.remaining -= amount
-        if self.remaining < 0:
-            raise OmegaBudgetExceeded
+    #: Shadow/splinter recursion depth cap.  Deep inequality chains
+    #: used to walk straight into Python's recursion limit and escape
+    #: as a raw ``RecursionError``; past this depth the descent maps to
+    #: the budget-exhausted 'unknown' path instead (check kept).
+    max_depth: int = 240
 
 
 _sigma_counter = 0
@@ -102,7 +102,7 @@ def _tighten_exact(ineq: LinComb) -> LinComb:
 
 
 def _solve_equalities(
-    atoms: Sequence[Atom], budget: _Budget, stats: OmegaStats
+    atoms: Sequence[Atom], budget: Budget, stats: OmegaStats
 ) -> list[LinComb] | None:
     """Eliminate all equalities; return residual inequalities.
 
@@ -206,9 +206,21 @@ def _choose_variable(ineqs: Sequence[LinComb]) -> LinVar:
 
 
 def _omega_ineqs(
-    ineqs: list[LinComb], budget: _Budget, stats: OmegaStats
+    ineqs: list[LinComb],
+    budget: Budget,
+    stats: OmegaStats,
+    depth: int,
+    max_depth: int,
 ) -> bool:
-    """Exact satisfiability of a pure-inequality system."""
+    """Exact satisfiability of a pure-inequality system.
+
+    ``depth`` tracks the shadow/splinter descent; exceeding
+    ``max_depth`` exhausts the budget (the caller reports 'unknown')
+    rather than letting a deep chain raise ``RecursionError`` through
+    the checker.
+    """
+    if depth > max_depth:
+        budget.exhaust("depth")
     budget.spend()
     work: list[LinComb] = []
     for iq in ineqs:
@@ -236,7 +248,7 @@ def _omega_ineqs(
 
     if not lowers or not uppers:
         # var is unbounded on one side: project it away entirely.
-        return _omega_ineqs(rest, budget, stats)
+        return _omega_ineqs(rest, budget, stats, depth + 1, max_depth)
 
     stats.shadow_steps += 1
     real_shadow: list[LinComb] = list(rest)
@@ -254,12 +266,12 @@ def _omega_ineqs(
                 exact = False
             dark_shadow.append(combined + LinComb.of_const(-slack))
 
-    if not _omega_ineqs(real_shadow, budget, stats):
+    if not _omega_ineqs(real_shadow, budget, stats, depth + 1, max_depth):
         return False
     if exact:
         # Real and dark shadows coincide; the real shadow was SAT.
         return True
-    if _omega_ineqs(dark_shadow, budget, stats):
+    if _omega_ineqs(dark_shadow, budget, stats, depth + 1, max_depth):
         return True
 
     # Splinter search: integer solutions must sit close to a lower bound.
@@ -272,40 +284,65 @@ def _omega_ineqs(
             budget.spend()
             splinter = [Atom("=", low + LinComb.of_const(-i))]
             splinter += [Atom(">=", iq) for iq in work]
-            if omega_sat(splinter, budget=budget, stats=stats):
+            if _omega_atoms(splinter, budget, stats, depth + 1, max_depth):
                 return True
     return False
+
+
+def _omega_atoms(
+    atoms: Sequence[Atom],
+    budget: Budget,
+    stats: OmegaStats,
+    depth: int,
+    max_depth: int,
+) -> bool:
+    """Satisfiability of a mixed equality/inequality system at a given
+    descent depth (the splinter re-entry point)."""
+    ineqs = _solve_equalities(atoms, budget, stats)
+    if ineqs is None:
+        return False
+    return _omega_ineqs(ineqs, budget, stats, depth, max_depth)
 
 
 def omega_sat(
     atoms: Sequence[Atom],
     config: OmegaConfig | None = None,
-    budget: _Budget | None = None,
+    budget: Budget | None = None,
     stats: OmegaStats | None = None,
 ) -> bool:
     """Exact integer satisfiability of a conjunction of atoms.
 
-    Raises :class:`OmegaBudgetExceeded` when the work budget runs out.
+    Raises :class:`~repro.solver.budget.BudgetExhausted` when the work
+    budget runs out.  When a goal-level budget is active (passed
+    explicitly or ambient via :func:`repro.solver.budget.use_budget`),
+    this call spends from it through a sub-budget capped at
+    ``config.max_steps``, preserving the classic per-call omega cap.
     """
     config = config or OmegaConfig()
-    budget = budget or _Budget(config.max_steps)
+    outer = resolve_budget(budget)
+    if outer is None:
+        call_budget = Budget(config.max_steps)
+    else:
+        call_budget = outer.sub(config.max_steps)
     stats = stats if stats is not None else OmegaStats()
-    ineqs = _solve_equalities(atoms, budget, stats)
-    if ineqs is None:
-        return False
-    return _omega_ineqs(ineqs, budget, stats)
+    return _omega_atoms(atoms, call_budget, stats, 0, config.max_depth)
 
 
 def omega_unsat(
     atoms: Sequence[Atom],
     config: OmegaConfig | None = None,
     stats: OmegaStats | None = None,
+    budget: Budget | None = None,
 ) -> bool:
     """Backend entry point: ``True`` iff provably unsatisfiable.
 
-    Budget exhaustion conservatively reports ``False`` ("unknown").
+    Budget or depth exhaustion conservatively reports ``False``
+    ("unknown"), as does a ``RecursionError`` (defense in depth — the
+    explicit ``max_depth`` cap should fire first).
     """
     try:
-        return not omega_sat(atoms, config=config, stats=stats)
-    except OmegaBudgetExceeded:
+        return not omega_sat(atoms, config=config, stats=stats, budget=budget)
+    except BudgetExhausted:
+        return False
+    except RecursionError:  # pragma: no cover - max_depth fires first
         return False

@@ -40,6 +40,7 @@ from typing import Callable, Iterator, Sequence
 from repro.indices.linear import Atom
 from repro.solver import fourier, interval, omega
 from repro.solver.backends import Backend, get_backend
+from repro.solver.budget import current_budget
 
 #: A fully renamed atom: ``(rel, const, ((var_id, coeff), ...))``.
 CanonicalAtom = tuple[str, int, tuple[tuple[int, int], ...]]
@@ -239,6 +240,11 @@ class SolverTelemetry:
     decisions: dict[str, int] = field(default_factory=dict)
     #: tier/backend name -> wall-clock seconds spent inside it.
     tier_seconds: dict[str, float] = field(default_factory=dict)
+    #: Goals degraded to 'unknown' on budget/deadline exhaustion
+    #: (fail-soft: their run-time checks are kept).
+    budget_exhausted: int = 0
+    #: Goals whose backend crash was contained (reported unproved).
+    contained_crashes: int = 0
 
     def record_decision(self, tier: str, elapsed: float, decided: bool) -> None:
         self.tier_seconds[tier] = self.tier_seconds.get(tier, 0.0) + elapsed
@@ -254,6 +260,8 @@ class SolverTelemetry:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.budget_exhausted += other.budget_exhausted
+        self.contained_crashes += other.contained_crashes
         for tier, count in other.decisions.items():
             self.decisions[tier] = self.decisions.get(tier, 0) + count
         for tier, seconds in other.tier_seconds.items():
@@ -273,6 +281,12 @@ class SolverTelemetry:
             out.append(
                 f"  tier {tier:<10} decided {decided:>5} "
                 f"in {seconds * 1000:.2f} ms"
+            )
+        if self.budget_exhausted or self.contained_crashes:
+            out.append(
+                f"fail-soft:        {self.budget_exhausted} "
+                f"budget-exhausted goal(s), {self.contained_crashes} "
+                f"contained crash(es) (checks kept)"
             )
         return out
 
@@ -307,8 +321,11 @@ class PortfolioSolver:
         self.tiers = tuple(tiers)
 
     def unsat(self, atoms: Sequence[Atom]) -> bool:
+        budget = current_budget()
         last = len(self.tiers) - 1
         for position, (name, tier_unsat) in enumerate(self.tiers):
+            if budget is not None and budget.exhausted:
+                break  # every remaining tier would abort on first spend
             started = time.perf_counter()
             verdict = tier_unsat(atoms)
             elapsed = time.perf_counter() - started
@@ -392,7 +409,12 @@ def instrument(
             telemetry.cache_misses += 1
         verdict = backend.unsat(atoms)
         if cache is not None and key is not None:
-            telemetry.cache_evictions += cache.store(backend.name, key, verdict)
+            # A False computed under an exhausted budget means "query
+            # aborted", not "not refutable" — caching it would pin the
+            # degraded answer for later, fully-budgeted queries.
+            ambient = current_budget()
+            if verdict or ambient is None or not ambient.exhausted:
+                telemetry.cache_evictions += cache.store(backend.name, key, verdict)
         if verdict:
             telemetry.unsat += 1
         return verdict
@@ -446,5 +468,6 @@ def reset_global_state() -> None:
     GLOBAL_TELEMETRY.queries = GLOBAL_TELEMETRY.unsat = 0
     GLOBAL_TELEMETRY.cache_hits = GLOBAL_TELEMETRY.cache_misses = 0
     GLOBAL_TELEMETRY.cache_evictions = 0
+    GLOBAL_TELEMETRY.budget_exhausted = GLOBAL_TELEMETRY.contained_crashes = 0
     GLOBAL_TELEMETRY.decisions.clear()
     GLOBAL_TELEMETRY.tier_seconds.clear()

@@ -22,6 +22,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.indices.linear import Atom, LinVar
+from repro.solver.budget import Budget, BudgetExhausted, resolve_budget
 
 
 @dataclass
@@ -68,9 +69,17 @@ def _build_rows(
 
 
 def simplex_feasible(
-    atoms: Sequence[Atom], stats: SimplexStats | None = None
+    atoms: Sequence[Atom],
+    stats: SimplexStats | None = None,
+    budget: Budget | None = None,
 ) -> bool:
-    """Does the conjunction of atoms admit a *rational* solution?"""
+    """Does the conjunction of atoms admit a *rational* solution?
+
+    Each pivot spends one budget step; exhaustion raises
+    :class:`~repro.solver.budget.BudgetExhausted` (``simplex_unsat``
+    maps it to the conservative ``False``).
+    """
+    budget = resolve_budget(budget)
     stats = stats if stats is not None else SimplexStats()
     built = _build_rows(atoms)
     if built is None:
@@ -124,6 +133,8 @@ def simplex_feasible(
             # by 0); defensively declare feasibility unknown -> feasible.
             return True
         stats.pivots += 1
+        if budget is not None:
+            budget.spend()
         _pivot(tableau, cost, basis, leaving, entering, n_total)
 
     # Feasible iff the artificial total is zero.
@@ -152,6 +163,16 @@ def _pivot(
     basis[row] = col
 
 
-def simplex_unsat(atoms: Sequence[Atom], stats: SimplexStats | None = None) -> bool:
-    """Backend entry point: ``True`` iff rationally infeasible."""
-    return not simplex_feasible(atoms, stats=stats)
+def simplex_unsat(
+    atoms: Sequence[Atom],
+    stats: SimplexStats | None = None,
+    budget: Budget | None = None,
+) -> bool:
+    """Backend entry point: ``True`` iff rationally infeasible.
+
+    Budget exhaustion conservatively reports ``False`` ("unknown").
+    """
+    try:
+        return not simplex_feasible(atoms, stats=stats, budget=budget)
+    except BudgetExhausted:
+        return False

@@ -66,6 +66,14 @@ from repro.indices.terms import (
 )
 from repro.lang.source import DUMMY_SPAN, Span
 from repro.solver.backends import Backend, get_backend
+from repro.solver.budget import (
+    DEFAULT_LIMITS,
+    Budget,
+    BudgetExhausted,
+    SolverLimits,
+    current_budget,
+    use_budget,
+)
 
 
 @dataclass
@@ -95,6 +103,11 @@ class GoalResult:
     reason: str = ""
     cases: int = 0
     elapsed: float = 0.0
+    #: The goal degraded to 'unknown' because its work budget or
+    #: deadline ran out (fail-soft: the run-time check is kept).
+    budget_exhausted: bool = False
+    #: A backend raised and the crash was contained to this goal.
+    crashed: bool = False
 
 
 @dataclass
@@ -108,6 +121,10 @@ class SolveStats:
     evars_created: int = 0
     evars_solved: int = 0
     solve_seconds: float = 0.0
+    #: Goals that degraded to 'unknown' on budget/deadline exhaustion.
+    budget_exhausted: int = 0
+    #: Goals whose backend crash was contained (reported unproved).
+    contained_crashes: int = 0
 
 
 class UnsupportedGoal(Exception):
@@ -447,9 +464,15 @@ def _split_cases(formula: IndexTerm) -> tuple[tuple[IndexTerm, ...], ...]:
 
 def _split_cases_uncached(formula: IndexTerm) -> tuple[tuple[IndexTerm, ...], ...]:
     if isinstance(formula, And):
+        budget = current_budget()
         result = []
         for left in _split_cases(formula.left):
             for right in _split_cases(formula.right):
+                # Each conjunction of sub-cases is a unit of DNF work;
+                # exhaustion propagates uncached (a bigger budget may
+                # finish this split), unlike the structural case cap.
+                if budget is not None:
+                    budget.spend()
                 result.append(left + right)
                 if len(result) > _MAX_CASES:
                     raise UnsupportedGoal("case explosion during DNF split")
@@ -520,11 +543,14 @@ def _case_to_atom_sets(
         return None
 
     # Cartesian product over the <> fan-outs.
+    budget = current_budget()
     result: list[list[Atom]] = [[]]
     for choices in atom_choices:
         new_result = []
         for base in result:
             for choice in choices:
+                if budget is not None:
+                    budget.spend()
                 new_result.append(base + choice)
                 if len(new_result) > _MAX_CASES:
                     raise UnsupportedGoal("case explosion from disequalities")
@@ -539,6 +565,7 @@ def prove_goal(
     stats: SolveStats | None = None,
     cache: "SolverCache | None" = None,
     telemetry: "SolverTelemetry | None" = None,
+    limits: SolverLimits | None = None,
 ) -> GoalResult:
     """Attempt to discharge one goal; never raises.
 
@@ -546,15 +573,33 @@ def prove_goal(
     the backend with memoization on canonical goal keys and query
     accounting.  Callers that already hold an instrumented backend —
     :func:`repro.api.check` builds one per run — pass neither.
+
+    ``limits`` is the goal's resource envelope (defaults to
+    :data:`~repro.solver.budget.DEFAULT_LIMITS`): a fresh
+    :class:`~repro.solver.budget.Budget` is installed as the ambient
+    budget for every backend call this goal triggers.  Exhaustion
+    degrades to an unproved goal with a recorded reason (check kept),
+    and any backend exception — including ``RecursionError`` — is
+    contained to this goal.  The one exception that always propagates
+    is :class:`~repro.solver.portfolio.BackendDisagreement`: a
+    soundness violation is a bug, never a degradation.
     """
     backend = backend or get_backend()
     if cache is not None or telemetry is not None:
         from repro.solver.portfolio import instrument
 
         backend = instrument(backend, telemetry, cache)
+    budget = Budget.start(limits if limits is not None else DEFAULT_LIMITS)
     started = time.perf_counter()
 
-    def finish(proved: bool, reason: str = "", cases: int = 0) -> GoalResult:
+    def finish(
+        proved: bool,
+        reason: str = "",
+        cases: int = 0,
+        *,
+        budget_exhausted: bool = False,
+        crashed: bool = False,
+    ) -> GoalResult:
         elapsed = time.perf_counter() - started
         if stats is not None:
             stats.goals += 1
@@ -564,7 +609,14 @@ def prove_goal(
                 stats.proved += 1
             else:
                 stats.failed += 1
-        return GoalResult(goal, proved, reason, cases, elapsed)
+            if budget_exhausted:
+                stats.budget_exhausted += 1
+            if crashed:
+                stats.contained_crashes += 1
+        return GoalResult(
+            goal, proved, reason, cases, elapsed,
+            budget_exhausted=budget_exhausted, crashed=crashed,
+        )
 
     concl = store.resolve(goal.concl)
     hyps = [store.resolve(h) for h in goal.hyps]
@@ -587,19 +639,52 @@ def prove_goal(
     if isinstance(concl, BConst) and concl.value:
         return finish(True, "trivial", 0)
 
+    total_atom_sets = 0
     try:
-        total_atom_sets = 0
-        for atoms in goal_atom_sets(hyps, concl):
-            total_atom_sets += 1
-            if not backend.unsat(atoms):
-                return finish(
-                    False,
-                    f"backend {backend.name} could not refute a case",
-                    total_atom_sets,
-                )
+        with use_budget(budget):
+            for atoms in goal_atom_sets(hyps, concl):
+                total_atom_sets += 1
+                verdict = backend.unsat(atoms)
+                if not verdict:
+                    if budget.exhausted:
+                        # The backend caught the exhaustion internally
+                        # and answered 'unknown'; surface the real
+                        # reason instead of "could not refute".
+                        return finish(
+                            False,
+                            f"solver budget exhausted "
+                            f"({budget.describe()})",
+                            total_atom_sets,
+                            budget_exhausted=True,
+                        )
+                    return finish(
+                        False,
+                        f"backend {backend.name} could not refute a case",
+                        total_atom_sets,
+                    )
+                budget.checkpoint()  # poll the deadline between cases
         return finish(True, "", total_atom_sets)
     except UnsupportedGoal as exc:
-        return finish(False, str(exc))
+        return finish(False, str(exc), total_atom_sets)
+    except BudgetExhausted:
+        return finish(
+            False,
+            f"solver budget exhausted ({budget.describe()})",
+            total_atom_sets,
+            budget_exhausted=True,
+        )
+    except Exception as exc:
+        from repro.solver.portfolio import BackendDisagreement
+
+        if isinstance(exc, BackendDisagreement):
+            raise  # a soundness violation must never be swallowed
+        return finish(
+            False,
+            f"solver crashed; check kept "
+            f"({type(exc).__name__}: {exc})",
+            total_atom_sets,
+            crashed=True,
+        )
 
 
 def goal_atom_sets(hyps: list[IndexTerm], concl: IndexTerm):
@@ -629,6 +714,7 @@ def prove_all(
     stats: SolveStats | None = None,
     cache: "SolverCache | None" = None,
     telemetry: "SolverTelemetry | None" = None,
+    limits: SolverLimits | None = None,
 ) -> list[GoalResult]:
     """The full Section 3 pipeline for one constraint tree."""
     if cache is not None or telemetry is not None:
@@ -639,4 +725,7 @@ def prove_all(
     solved = solve_evars(goals, store)
     if stats is not None:
         stats.evars_solved += solved
-    return [prove_goal(goal, store, backend, stats) for goal in goals]
+    return [
+        prove_goal(goal, store, backend, stats, limits=limits)
+        for goal in goals
+    ]

@@ -18,6 +18,21 @@ GOOD = (
     "where f <| int array * int -> int"
 )
 
+#: One provable access site and one unprovable one — per-site policy
+#: certifies the first and keeps the second's run-time check.
+MIXED = (
+    "fun f(a) = sub(a, 0) where f <| {n:nat | n > 0} 'a array(n) -> 'a\n"
+    "fun g(a, i) = sub(a, i)\n"
+)
+
+#: A failed *structural* goal (the call of ``head`` cannot justify its
+#: ``n > 0`` guard) — nothing may be certified.
+STRUCT_BAD = (
+    "fun head(a) = sub(a, 0) "
+    "where head <| {n:nat | n > 0} 'a array(n) -> 'a\n"
+    "fun g(a) = head(a) where g <| {n:nat} 'a array(n) -> 'a\n"
+)
+
 
 class TestIssue:
     def test_issue_for_good_program(self):
@@ -28,10 +43,33 @@ class TestIssue:
         assert op == "sub"
         assert obligations  # bound conditions recorded
 
-    def test_refuses_unproved_program(self):
-        report = api.check("fun f(a, i) = sub(a, i)", "<t>")
+    def test_refuses_structural_failure(self):
+        report = api.check(STRUCT_BAD, "<t>")
+        assert not report.structural_ok
         with pytest.raises(ValueError):
             issue_certificate(report)
+
+    def test_site_failure_certifies_the_other_site(self):
+        """Per-site policy: one unprovable access keeps its own check
+        but does not block certification of an independent site."""
+        report = api.check(MIXED, "<t>")
+        assert not report.all_proved
+        cert = issue_certificate(report)
+        assert set(cert.sites) == report.eliminable_sites()
+        assert len(cert.sites) == 1
+        (op, obligations), = cert.sites.values()
+        assert op == "sub" and obligations
+        # The kept site's (unproved) obligations appear nowhere.
+        certified = {ob.origin for _, obs in cert.sites.values() for ob in obs}
+        kept = set(report.sites) - report.eliminable_sites()
+        assert kept and not (kept & certified)
+        assert verify_certificate(cert, backend="omega").valid
+
+    def test_unproved_site_only_program_certifies_nothing(self):
+        report = api.check("fun f(a, i) = sub(a, i)", "<t>")
+        cert = issue_certificate(report)  # no structural failure: legal
+        assert cert.sites == {}
+        assert cert.obligation_count == 0
 
     def test_certificate_is_evar_free(self):
         cert = issue_certificate(api.check(GOOD, "<t>"))

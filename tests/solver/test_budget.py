@@ -1,0 +1,258 @@
+"""Tests for the unified solver resource governance (fail-soft policy).
+
+Covers the :mod:`repro.solver.budget` primitives, each backend's
+degradation to ``False`` on exhaustion, the Omega test's deep-chain
+recursion regression, and ``prove_goal``'s budget-exhausted / contained
+crash verdicts.
+"""
+
+import pytest
+
+from repro.indices import terms
+from repro.indices.linear import Atom, LinComb
+from repro.indices.sorts import INT
+from repro.indices.terms import EvarStore, IConst, IVar
+from repro.solver.backends import Backend
+from repro.solver.bruteforce import find_model
+from repro.solver.budget import (
+    Budget,
+    BudgetExhausted,
+    SolverLimits,
+    current_budget,
+    resolve_budget,
+    use_budget,
+)
+from repro.solver.fourier import fourier_unsat
+from repro.solver.interval import interval_unsat
+from repro.solver.omega import OmegaBudgetExceeded, omega_sat, omega_unsat
+from repro.solver.simplex import simplex_unsat
+from repro.solver.simplify import Goal, SolveStats, prove_goal
+
+
+def var(name, coeff=1):
+    return LinComb.of_var(name, coeff)
+
+
+def const(value):
+    return LinComb.of_const(value)
+
+
+def ge(lin):
+    return Atom(">=", lin)
+
+
+# Pugh's dark-shadow example: integer-UNSAT, needs real solver work.
+PUGH = [
+    ge(var("x", 11) + var("y", 13) + const(-27)),
+    ge(var("x", -11) + var("y", -13) + const(45)),
+    ge(var("x", 7) + var("y", -9) + const(10)),
+    ge(var("x", -7) + var("y", 9) + const(4)),
+]
+
+
+def chain(n):
+    """x1 <= x2 <= ... <= xn and xn <= x1 - 1: UNSAT via a transitive
+    chain that forces the Omega test to eliminate ~n variables."""
+    atoms = [
+        ge(var(f"x{i + 1}") - var(f"x{i}"))
+        for i in range(1, n)
+    ]
+    atoms.append(ge(var("x1") - var(f"x{n}") + const(-1)))
+    return atoms
+
+
+class TestBudgetPrimitives:
+    def test_steps_exhaust_and_stay_exhausted(self):
+        budget = Budget(max_steps=3)
+        budget.spend(3)
+        with pytest.raises(BudgetExhausted) as exc:
+            budget.spend()
+        assert exc.value.kind == "steps"
+        assert budget.exhausted
+        with pytest.raises(BudgetExhausted):  # sticky
+            budget.spend()
+
+    def test_deadline_exhausts_via_checkpoint(self):
+        budget = Budget(max_steps=None, deadline=0.0)  # long past
+        with pytest.raises(BudgetExhausted) as exc:
+            budget.checkpoint()
+        assert exc.value.kind == "deadline"
+        assert budget.describe() == "goal timeout exceeded"
+
+    def test_sub_budget_forwards_to_parent(self):
+        parent = Budget(max_steps=10)
+        child = parent.sub(max_steps=100)
+        child.spend(10)
+        assert parent.remaining == 0
+        with pytest.raises(BudgetExhausted):
+            child.spend()
+        assert parent.exhausted and child.exhausted
+
+    def test_child_cap_is_independent(self):
+        parent = Budget(max_steps=1000)
+        child = parent.sub(max_steps=2)
+        with pytest.raises(BudgetExhausted):
+            child.spend(5)
+        assert child.exhausted
+        assert not parent.exhausted_kind  # parent itself not spent out
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget(max_steps=None)
+        budget.spend(10_000_000)
+        assert not budget.exhausted
+
+    def test_ambient_install_and_resolve(self):
+        assert current_budget() is None
+        budget = Budget(max_steps=5)
+        with use_budget(budget):
+            assert current_budget() is budget
+            assert resolve_budget(None) is budget
+            explicit = Budget(max_steps=1)
+            assert resolve_budget(explicit) is explicit
+        assert current_budget() is None
+
+    def test_start_from_limits(self):
+        budget = Budget.start(SolverLimits(max_steps=7, goal_timeout=None))
+        assert budget.remaining == 7
+        assert budget.deadline is None
+        unlimited = Budget.start(SolverLimits.unlimited())
+        assert unlimited.remaining is None and unlimited.deadline is None
+
+
+class TestBackendDegradation:
+    """Every backend answers False (never raises) when the budget dies
+    mid-query — a degraded answer is 'not proven', which keeps checks."""
+
+    def test_fourier_degrades(self):
+        atoms = chain(8)  # transitive chain: Fourier-decidable UNSAT
+        assert fourier_unsat(atoms, budget=Budget(max_steps=1)) is False
+        assert fourier_unsat(atoms) is True  # sanity: decidable normally
+
+    def test_interval_degrades(self):
+        crossing = [ge(var("x")), ge(-var("x") + const(10)),
+                    ge(var("x") + const(-20))]
+        assert interval_unsat(crossing, budget=Budget(max_steps=1)) is False
+        assert interval_unsat(crossing) is True
+
+    def test_simplex_degrades(self):
+        # 2x >= 10 and 3x <= 9: rationally infeasible, and phase-1
+        # needs at least one pivot to discover it.
+        rational_unsat = [ge(var("x", 2) + const(-10)),
+                          ge(var("x", -3) + const(9))]
+        assert simplex_unsat(rational_unsat, budget=Budget(max_steps=0)) is False
+        assert simplex_unsat(rational_unsat) is True
+
+    def test_omega_degrades(self):
+        assert omega_unsat(PUGH, budget=Budget(max_steps=1)) is False
+        assert omega_unsat(PUGH) is True
+
+    def test_ambient_budget_reaches_backends(self):
+        with use_budget(Budget(max_steps=1)):
+            assert fourier_unsat(PUGH) is False
+            assert omega_unsat(PUGH) is False
+
+    def test_bruteforce_propagates(self):
+        # The oracle must NOT degrade silently: an aborted enumeration
+        # is not "no model in the box".
+        atoms = [ge(var("x")), ge(-var("x") + const(10))]
+        with pytest.raises(BudgetExhausted):
+            find_model(atoms, bound=10, budget=Budget(max_steps=2))
+
+
+class TestOmegaDeepChain:
+    """Regression: a long transitive inequality chain used to blow the
+    Python recursion limit inside ``_omega_ineqs``; the depth cap now
+    maps it onto the budget verdict."""
+
+    def test_moderate_chain_still_decided(self):
+        assert omega_unsat(chain(60)) is True
+        relaxed = chain(60)[:-1]  # drop the cycle closer: SAT
+        assert omega_unsat(relaxed) is False
+
+    def test_deep_chain_returns_unknown_without_recursion_error(self):
+        deep = chain(2000)
+        assert omega_unsat(deep) is False  # unknown, not a crash
+
+    def test_deep_chain_sat_raises_budget_not_recursion(self):
+        with pytest.raises(OmegaBudgetExceeded):
+            omega_sat(chain(2000))
+
+
+def _adversarial_goal(fanout=9):
+    """A goal whose hypotheses fan out into 2**fanout disequality
+    cases — trivially provable, but expensive to enumerate."""
+    hyps = [
+        terms.cmp("<>", IVar(f"x{i}"), IConst(0)) for i in range(fanout)
+    ]
+    concl = terms.cmp(">=", IVar("x0"), IVar("x0"))
+    rigid = {f"x{i}": INT for i in range(fanout)}
+    return Goal(rigid, hyps, concl)
+
+
+class TestProveGoalFailSoft:
+    def test_adversarial_goal_proves_under_default_budget(self):
+        result = prove_goal(_adversarial_goal(), EvarStore())
+        assert result.proved
+        assert not result.budget_exhausted
+
+    def test_tight_step_budget_degrades_to_unknown(self):
+        stats = SolveStats()
+        result = prove_goal(
+            _adversarial_goal(), EvarStore(), stats=stats,
+            limits=SolverLimits(max_steps=40),
+        )
+        assert not result.proved
+        assert result.budget_exhausted and not result.crashed
+        assert "budget exhausted" in result.reason
+        assert stats.budget_exhausted == 1 and stats.failed == 1
+
+    def test_tiny_deadline_degrades_to_unknown(self):
+        result = prove_goal(
+            _adversarial_goal(), EvarStore(),
+            limits=SolverLimits(max_steps=None, goal_timeout=1e-9),
+        )
+        assert not result.proved
+        assert result.budget_exhausted
+        assert "timeout" in result.reason
+
+    def test_backend_crash_is_contained(self):
+        def boom(atoms):
+            raise RuntimeError("kaboom")
+
+        stats = SolveStats()
+        result = prove_goal(
+            _adversarial_goal(2), EvarStore(),
+            Backend("crashy", boom), stats=stats,
+        )
+        assert not result.proved
+        assert result.crashed and not result.budget_exhausted
+        assert "RuntimeError" in result.reason and "kaboom" in result.reason
+        assert stats.contained_crashes == 1
+
+    def test_recursion_error_is_contained(self):
+        def overflow(atoms):
+            raise RecursionError("maximum recursion depth exceeded")
+
+        result = prove_goal(
+            _adversarial_goal(2), EvarStore(), Backend("deep", overflow)
+        )
+        assert not result.proved and result.crashed
+        assert "RecursionError" in result.reason
+
+    def test_backend_disagreement_always_propagates(self):
+        from repro.solver.portfolio import BackendDisagreement
+
+        def lying(atoms):
+            raise BackendDisagreement("soundness violation")
+
+        with pytest.raises(BackendDisagreement):
+            prove_goal(
+                _adversarial_goal(2), EvarStore(), Backend("liar", lying)
+            )
+
+    def test_no_ambient_budget_leaks_after_goal(self):
+        prove_goal(
+            _adversarial_goal(), EvarStore(),
+            limits=SolverLimits(max_steps=40),
+        )
+        assert current_budget() is None

@@ -93,6 +93,35 @@ class TestEliminationPlan:
         assert not plan.program_proved
         assert plan.unchecked == set()
 
+    def test_plan_is_per_site(self):
+        """Pin the per-site policy: a failed obligation at one access
+        site keeps that site's check without vetoing the other."""
+        from repro.compile.elim import plan_elimination
+
+        plan = plan_elimination(api.check(GOOD + " fun g(a, i) = sub(a, i)"))
+        assert not plan.program_proved
+        assert len(plan.sites) == 2
+        assert len(plan.unchecked) == 1
+        (site,) = plan.unchecked
+        assert plan.site_proved[site]
+        assert not all(plan.site_proved.values())
+
+    def test_plan_structural_failure_vetoes_every_site(self):
+        """...but one failed structural goal (an unjustified annotation)
+        fail-closes the whole program, even where site goals held."""
+        from repro.compile.elim import plan_elimination
+
+        src = (
+            "fun head(a) = sub(a, 0) "
+            "where head <| {n:nat | n > 0} 'a array(n) -> 'a "
+            "fun g(a) = head(a) where g <| {n:nat} 'a array(n) -> 'a"
+        )
+        plan = plan_elimination(api.check(src))
+        assert plan.unchecked == set()
+        # The site's own goals discharged; only the structural gate
+        # keeps its check.
+        assert all(plan.site_proved.values())
+
 
 class TestPreludeMemoization:
     """The prelude is parsed and ML-inferred once per process; per-call

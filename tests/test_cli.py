@@ -142,8 +142,22 @@ class TestCommands:
         assert "safety certificate" in out
         assert "VALID" in out
 
-    def test_certify_refuses_unsafe(self, bad_file, capsys):
-        assert main(["certify", bad_file]) == 1
+    def test_certify_site_failure_certifies_nothing(self, bad_file, capsys):
+        # Per-site policy: an unprovable access keeps its run-time
+        # check; the (empty) certificate for the rest is still valid.
+        assert main(["certify", bad_file]) == 0
+        captured = capsys.readouterr()
+        assert "0 eliminated site(s)" in captured.out
+        assert "keep their run-time checks" in captured.err
+
+    def test_certify_refuses_structural_failure(self, tmp_path, capsys):
+        path = tmp_path / "struct_bad.dml"
+        path.write_text(
+            "fun head(a) = sub(a, 0) "
+            "where head <| {n:nat | n > 0} 'a array(n) -> 'a\n"
+            "fun g(a) = head(a) where g <| {n:nat} 'a array(n) -> 'a\n"
+        )
+        assert main(["certify", str(path)]) == 1
         assert "cannot certify" in capsys.readouterr().err
 
     def test_run_list_result_rendering(self, tmp_path, capsys):
