@@ -5,6 +5,12 @@ behaviour-invisible: whatever caching, hash-consing, or parallel
 scheduling happens, the per-goal verdicts must be byte-identical
 between a cold run (empty cache) and a warm replay, at any worker
 count.  This script is the cheap end-to-end check of that promise.
+
+``--slice-parity`` checks the goal-preprocessing layer's promise
+instead: corpus verdicts with relevancy slicing / subsumption /
+shared-prefix Fourier enabled (the default) are byte-identical to a
+run with the layer off (``slice_goals=False``, the ``--no-slice``
+CLI flag), sequentially and in parallel.
 """
 
 from __future__ import annotations
@@ -19,7 +25,36 @@ def verdicts(report):
     return [(row.program, row.verdicts) for row in report.rows]
 
 
+def slice_parity() -> int:
+    sliced = driver.check_corpus(jobs=1, cache_dir=None)
+    plain = driver.check_corpus(jobs=1, cache_dir=None, slice_goals=False)
+    sliced_par = driver.check_corpus(jobs=4, cache_dir=None)
+
+    if not sliced.all_ok:
+        print("sliced corpus run failed", file=sys.stderr)
+        return 1
+    if verdicts(plain) != verdicts(sliced):
+        print("--no-slice verdicts diverged from sliced", file=sys.stderr)
+        return 1
+    if verdicts(sliced_par) != verdicts(sliced):
+        print("parallel sliced verdicts diverged", file=sys.stderr)
+        return 1
+    if sliced.sliced_queries == 0 or sliced.atoms_after >= sliced.atoms_before:
+        print("slicing layer did not engage", file=sys.stderr)
+        return 1
+    print(
+        f"slice parity ok: {sliced.goals} goals, atoms "
+        f"{sliced.atoms_before} -> {sliced.atoms_after}, "
+        f"{sliced.subsumption_hits} subsumption hit(s), "
+        f"{sliced.prefix_reuses} prefix reuse(s), verdicts identical "
+        f"with --no-slice"
+    )
+    return 0
+
+
 def main() -> int:
+    if "--slice-parity" in sys.argv[1:]:
+        return slice_parity()
     with tempfile.TemporaryDirectory(prefix="repro-parity") as tmp:
         cold = driver.check_corpus(jobs=1, cache_dir=tmp, clear=True)
         warm = driver.check_corpus(jobs=1, cache_dir=tmp)

@@ -39,10 +39,12 @@ from repro.solver.portfolio import (
     PortfolioSolver,
     SolverCache,
     SolverTelemetry,
+    canonical_key_stats,
     instrument,
 )
 from repro.solver.budget import SolverLimits
 from repro.solver.simplify import GoalResult, SolveStats, prove_all
+from repro.solver.slice import SliceContext
 
 
 @dataclass
@@ -143,6 +145,11 @@ class CheckReport:
             )
         if self.telemetry is not None and self.telemetry.queries:
             lines.extend(self.telemetry.lines())
+            ck_hits, ck_misses, ck_evictions = canonical_key_stats()
+            lines.append(
+                f"canonical keys:   {ck_hits} hit(s) / {ck_misses} miss(es) "
+                f"/ {ck_evictions} eviction(s) (process-wide memo)"
+            )
         for result in self.failed_goals:
             where = self.source.describe(result.goal.span)
             lines.append(f"UNSOLVED [{where}] {result.goal} -- {result.reason}")
@@ -258,6 +265,7 @@ def check(
     cache: SolverCache | bool | None = None,
     telemetry: SolverTelemetry | None = None,
     limits: SolverLimits | None = None,
+    slice_goals: bool = True,
 ) -> CheckReport:
     """Run the full static pipeline on ``source``.
 
@@ -274,8 +282,14 @@ def check(
     its budget — or whose backend crashes — is recorded as unproved
     with a reason and its run-time check is kept; ``check`` itself
     never raises for solver trouble.
+
+    ``slice_goals`` controls the verdict-preserving goal-preprocessing
+    layer (:mod:`repro.solver.slice`: relevancy slicing, subsumption,
+    shared-prefix Fourier).  ``False`` is the ``--no-slice`` escape
+    hatch; verdicts are identical either way.
     """
     backend, telemetry = _resolve_backend(backend, cache, telemetry)
+    slicing = SliceContext(telemetry) if slice_goals else None
 
     front = elaborate_source(source, name, include_prelude)
     src, store, elab = front.source, front.store, front.elab
@@ -285,9 +299,12 @@ def check(
     goal_results: list[GoalResult] = []
     for dc in elab.decl_constraints:
         goal_results.extend(
-            prove_all(dc.constraint, store, backend, stats, limits=limits)
+            prove_all(
+                dc.constraint, store, backend, stats,
+                limits=limits, slicing=slicing,
+            )
         )
-    warnings = _unreachable_warnings(elab, store, backend, src, limits)
+    warnings = _unreachable_warnings(elab, store, backend, src, limits, slicing)
     solve_seconds = time.perf_counter() - solve_started
     telemetry.budget_exhausted += stats.budget_exhausted
     telemetry.contained_crashes += stats.contained_crashes
@@ -341,6 +358,7 @@ def _unreachable_warnings(
     backend: Backend,
     src: SourceFile,
     limits: SolverLimits | None = None,
+    slicing: SliceContext | None = None,
 ) -> list[str]:
     """Index-aware dead-code detection: a branch whose hypotheses are
     contradictory can never execute (e.g. the nil clause of a match on
@@ -351,14 +369,14 @@ def _unreachable_warnings(
     warnings = []
     for probe in elab.probes:
         goal = Goal(probe.rigid, probe.hyps, terms.FALSE)
-        if prove_goal(goal, store, backend, limits=limits).proved:
+        if prove_goal(goal, store, backend, limits=limits, slicing=slicing).proved:
             warnings.append(
                 f"{src.describe(probe.span)}: unreachable {probe.what} "
                 f"(index hypotheses are contradictory)"
             )
     for missing in elab.coverage:
         goal = Goal(missing.rigid, missing.hyps, terms.FALSE)
-        if not prove_goal(goal, store, backend, limits=limits).proved:
+        if not prove_goal(goal, store, backend, limits=limits, slicing=slicing).proved:
             warnings.append(
                 f"{src.describe(missing.span)}: match may not be "
                 f"exhaustive (missing: {missing.missing})"
@@ -372,6 +390,7 @@ def check_corpus(
     cache: SolverCache | bool | None = None,
     telemetry: SolverTelemetry | None = None,
     limits: SolverLimits | None = None,
+    slice_goals: bool = True,
 ) -> CheckReport:
     """Check one of the bundled corpus programs by name."""
     source = programs.load_source(program_name)
@@ -382,4 +401,5 @@ def check_corpus(
         cache=cache,
         telemetry=telemetry,
         limits=limits,
+        slice_goals=slice_goals,
     )

@@ -81,6 +81,12 @@ def main(argv: list[str] | None = None) -> int:
     print("Intern table: hash-consed IR and memoized normalization")
     print("=" * 72)
     print(tables.render_intern(harness.intern_table()))
+    print()
+
+    print("=" * 72)
+    print("Slicing: relevancy-sliced goals, subsumption, shared prefixes")
+    print("=" * 72)
+    print(tables.render_slice(harness.slice_table()))
     return 0
 
 

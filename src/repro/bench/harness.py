@@ -19,7 +19,10 @@
   utilization,
 * :func:`intern_table` — hash-consing effectiveness: cold-check wall
   clock, intern-table occupancy, and the hit rate of every memoized
-  per-node analysis (free variables, linearization, canonical keys).
+  per-node analysis (free variables, linearization, canonical keys),
+* :func:`slice_table` — goal preprocessing: cold corpus wall clock
+  with slicing off vs. on (verdict parity asserted), atoms kept per
+  sliced goal case, subsumption refutations, shared-prefix resumes.
 """
 
 from __future__ import annotations
@@ -544,7 +547,7 @@ def intern_table(backend: str = "fourier") -> list[InternRow]:
     stats = intern.intern_stats()
     constructions = stats["hits"] + stats["misses"]
     share = stats["hits"] / constructions if constructions else 0.0
-    ck_hits, ck_misses = portfolio.canonical_key_stats()
+    ck_hits, ck_misses, ck_evictions = portfolio.canonical_key_stats()
 
     rows = [
         InternRow("cold corpus wall (ms)", f"{wall * 1000:.1f}", "jobs=1, no disk cache"),
@@ -570,4 +573,71 @@ def intern_table(backend: str = "fourier") -> list[InternRow]:
             "cache-key lru over atom systems",
         )
     )
+    if ck_evictions:
+        rows.append(
+            InternRow(
+                "canonical-key evictions",
+                str(ck_evictions),
+                "lru entries displaced",
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Slice table: relevancy slicing, subsumption, shared-prefix Fourier
+# ---------------------------------------------------------------------------
+
+
+def slice_table(backend: str = "fourier") -> list[InternRow]:
+    """Goal-preprocessing effectiveness on the cold full corpus.
+
+    Runs the sequential driver twice from scratch — slicing off, then
+    slicing on — asserts verdict parity, and reports the wall clocks
+    next to the slicing telemetry: atoms kept per goal case, goals
+    refuted by subsumption without a solver call, and shared-prefix
+    Fourier resumes.  State (prelude templates, portfolio caches) is
+    reset before each run so both are genuinely cold.
+    """
+    from repro import driver
+    from repro.solver import portfolio
+
+    def cold_run(slice_goals: bool):
+        api.reset_prelude_cache()
+        portfolio.reset_global_state()
+        started = time.perf_counter()
+        report = driver.check_corpus(
+            jobs=1, cache_dir=None, backend=backend, slice_goals=slice_goals
+        )
+        wall = time.perf_counter() - started
+        assert report.all_ok, "corpus run failed during slice bench"
+        return report, wall
+
+    unsliced, wall_off = cold_run(False)
+    sliced, wall_on = cold_run(True)
+    assert [row.verdicts for row in sliced.rows] == [
+        row.verdicts for row in unsliced.rows
+    ], "slicing changed corpus verdicts"
+
+    cases = sliced.sliced_queries
+    before = sliced.atoms_before
+    after = sliced.atoms_after
+    kept = after / before if before else 1.0
+    rows = [
+        InternRow("cold corpus wall, slicing off (ms)", f"{wall_off * 1000:.1f}",
+                  "jobs=1, no disk cache"),
+        InternRow("cold corpus wall, slicing on (ms)", f"{wall_on * 1000:.1f}",
+                  "same verdicts, asserted"),
+        InternRow("goal cases sliced", str(cases), "one per DNF case"),
+        InternRow(
+            "hypothesis atoms kept",
+            f"{after}/{before} ({kept:.0%})",
+            f"mean {after / cases:.1f} of {before / cases:.1f} atoms/case"
+            if cases else "",
+        ),
+        InternRow("subsumption refutations", str(sliced.subsumption_hits),
+                  "no solver call needed"),
+        InternRow("shared-prefix resumes", str(sliced.prefix_reuses),
+                  "Fourier restarted mid-elimination"),
+    ]
     return rows

@@ -68,3 +68,8 @@ def render_existentials(rows) -> str:
 def render_intern(rows) -> str:
     headers = ["intern/memo metric", "value", "notes"]
     return render_table(headers, [r.cells() for r in rows])
+
+
+def render_slice(rows) -> str:
+    headers = ["goal preprocessing metric", "value", "notes"]
+    return render_table(headers, [r.cells() for r in rows])

@@ -57,14 +57,16 @@ def _limits(args: argparse.Namespace) -> SolverLimits | None:
 
 def cmd_check(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args))
+                       cache=args.cache, limits=_limits(args),
+                       slice_goals=not args.no_slice)
     print(report.summary())
     return 0 if report.all_proved else 1
 
 
 def cmd_goals(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args))
+                       cache=args.cache, limits=_limits(args),
+                       slice_goals=not args.no_slice)
     store = report.elab.store
     for result in report.goal_results:
         status = "solved  " if result.proved else "UNSOLVED"
@@ -88,7 +90,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
     from repro.compile.pycodegen import compile_program
 
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args))
+                       cache=args.cache, limits=_limits(args),
+                       slice_goals=not args.no_slice)
     unchecked = report.eliminable_sites()
     module = compile_program(
         report.program, report.env, unchecked, Path(args.file).stem
@@ -145,7 +148,8 @@ def _split_commas(text: str) -> list[str]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args))
+                       cache=args.cache, limits=_limits(args),
+                       slice_goals=not args.no_slice)
     unchecked = report.eliminable_sites() if not args.always_check else set()
     interp = Interpreter(report.program, unchecked, env=report.env)
     call_args = [_parse_value(a) for a in args.args]
@@ -181,7 +185,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
     from repro.compile.certificate import issue_certificate, verify_certificate
 
     report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args))
+                       cache=args.cache, limits=_limits(args),
+                       slice_goals=not args.no_slice)
     if not report.structural_ok:
         print("error: cannot certify: structural obligations failed "
               "(some annotation is unjustified)", file=sys.stderr)
@@ -220,6 +225,7 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         clear=args.clear_cache,
         limits=_limits(args),
+        slice_goals=not args.no_slice,
     )
     print(report.render())
     return 0 if report.all_ok else 1
@@ -253,7 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache", action="store_true",
                        help="memoize solver verdicts on canonical goal "
                             "keys (shared across the process)")
+        slice_flag(p)
         budget_flags(p)
+
+    def slice_flag(p):
+        p.add_argument("--no-slice", action="store_true",
+                       help="disable the goal-preprocessing layer "
+                            "(relevancy slicing, subsumption, shared-"
+                            "prefix solving); verdicts are identical "
+                            "either way")
 
     def budget_flags(p):
         p.add_argument("--budget", type=int, default=None, metavar="STEPS",
@@ -326,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument(
         "--clear-cache", action="store_true",
         help="wipe the persisted verdicts first (guaranteed-cold run)")
+    slice_flag(p_corpus)
     budget_flags(p_corpus)
     p_corpus.set_defaults(fn=cmd_check_corpus)
 

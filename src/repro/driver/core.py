@@ -55,6 +55,7 @@ from repro.solver.simplify import (
     prove_goal,
     solve_evars,
 )
+from repro.solver.slice import SliceContext
 
 
 def _effective_jobs(jobs: int | None) -> int:
@@ -142,6 +143,7 @@ def check_program(
     seed: bool = True,
     persist: bool = True,
     limits: SolverLimits | None = None,
+    slice_goals: bool = True,
 ) -> DriverReport:
     """Check one program with parallel goal solving and incremental
     verdict replay.
@@ -161,9 +163,15 @@ def check_program(
     or a backend crash records the goal unproved and the batch
     continues).  Each *goal* gets its own budget/deadline, so one
     pathological goal cannot starve its worker's siblings.
+
+    ``slice_goals`` enables the verdict-preserving goal-preprocessing
+    layer (:mod:`repro.solver.slice`); one :class:`SliceContext` is
+    shared by all workers, so refuted cores and presolved hypothesis
+    prefixes propagate across goals and declarations within the run.
     """
     jobs = _effective_jobs(jobs)
     telemetry = telemetry if telemetry is not None else SolverTelemetry()
+    slicing = SliceContext(telemetry) if slice_goals else None
     if cache is None:
         cache = SolverCache(maxsize=65536)
     stats = DriverStats(jobs=jobs)
@@ -241,14 +249,17 @@ def check_program(
     ) -> tuple[int, int, GoalResult, float]:
         di, gi, goal, snapshot = task
         task_started = time.perf_counter()
-        result = prove_goal(goal, snapshot, worker_backend(), limits=limits)
+        result = prove_goal(
+            goal, snapshot, worker_backend(), limits=limits, slicing=slicing
+        )
         return di, gi, result, time.perf_counter() - task_started
 
     if pending:
         if jobs == 1:
             outcomes = [
                 (di, gi,
-                 prove_goal(goal, snapshot, main_backend, limits=limits),
+                 prove_goal(goal, snapshot, main_backend, limits=limits,
+                            slicing=slicing),
                  0.0)
                 for di, gi, goal, snapshot in pending
             ]
@@ -283,7 +294,7 @@ def check_program(
     telemetry.contained_crashes += solve_stats.contained_crashes
 
     warnings = api._unreachable_warnings(
-        elab, store, main_backend, front.source, limits
+        elab, store, main_backend, front.source, limits, slicing
     )
     stats.solve_seconds = time.perf_counter() - solve_started
 
@@ -365,6 +376,12 @@ class ProgramResult:
     budget_exhausted: int = 0
     #: Goals whose backend crash was contained.
     contained_crashes: int = 0
+    #: Slicing-layer counters (zero when run with --no-slice).
+    sliced_queries: int = 0
+    atoms_before: int = 0
+    atoms_after: int = 0
+    subsumption_hits: int = 0
+    prefix_reuses: int = 0
     verdicts: list[GoalRecord] = field(repr=False, default_factory=list)
 
     @property
@@ -409,6 +426,11 @@ def _program_result(name: str, outcome: DriverReport) -> ProgramResult:
         cache_misses=telemetry.cache_misses,
         budget_exhausted=report.stats.budget_exhausted,
         contained_crashes=report.stats.contained_crashes,
+        sliced_queries=telemetry.sliced_queries,
+        atoms_before=telemetry.atoms_before,
+        atoms_after=telemetry.atoms_after,
+        subsumption_hits=telemetry.subsumption_hits,
+        prefix_reuses=telemetry.prefix_reuses,
         verdicts=outcome.verdicts,
     )
 
@@ -477,6 +499,26 @@ class CorpusReport:
     def contained_crashes(self) -> int:
         return sum(row.contained_crashes for row in self.rows)
 
+    @property
+    def sliced_queries(self) -> int:
+        return sum(row.sliced_queries for row in self.rows)
+
+    @property
+    def atoms_before(self) -> int:
+        return sum(row.atoms_before for row in self.rows)
+
+    @property
+    def atoms_after(self) -> int:
+        return sum(row.atoms_after for row in self.rows)
+
+    @property
+    def subsumption_hits(self) -> int:
+        return sum(row.subsumption_hits for row in self.rows)
+
+    @property
+    def prefix_reuses(self) -> int:
+        return sum(row.prefix_reuses for row in self.rows)
+
     def render(self) -> str:
         from repro.bench.tables import render_table
 
@@ -502,6 +544,13 @@ class CorpusReport:
             f"{self.decl_misses} miss(es), "
             f"{self.goals_replayed}/{self.goals} goal(s) replayed",
         ]
+        if self.sliced_queries:
+            lines.append(
+                f"slicing:          {self.sliced_queries} case(s), atoms "
+                f"{self.atoms_before} -> {self.atoms_after}, "
+                f"{self.subsumption_hits} subsumption hit(s), "
+                f"{self.prefix_reuses} prefix reuse(s)"
+            )
         if self.budget_exhausted or self.contained_crashes:
             lines.append(
                 f"fail-soft:        {self.budget_exhausted} "
@@ -517,7 +566,7 @@ class CorpusReport:
 
 
 def _check_one_process(
-    args: tuple[str, str, str | None, int | None, float | None],
+    args: tuple[str, str, str | None, int | None, float | None, bool],
 ) -> tuple[ProgramResult, list[tuple[str, str, bool]], dict[str, list[GoalRecord]]]:
     """Process-pool worker: check one bundled program in isolation.
 
@@ -528,9 +577,11 @@ def _check_one_process(
     ``(max_steps, goal_timeout)`` primitives — each worker rebuilds the
     :class:`SolverLimits`, and every goal gets its own deadline anchored
     when *its* solve starts (a shared absolute deadline would penalize
-    late-scheduled programs).
+    late-scheduled programs).  The slicing flag travels the same way;
+    each worker builds its own :class:`SliceContext` inside
+    :func:`check_program`.
     """
-    name, backend, cache_dir, max_steps, goal_timeout = args
+    name, backend, cache_dir, max_steps, goal_timeout, slice_goals = args
     limits = (
         SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
         if (max_steps is not None or goal_timeout is not None)
@@ -547,6 +598,7 @@ def _check_one_process(
         disk=disk,
         persist=False,
         limits=limits,
+        slice_goals=slice_goals,
     )
     exported = [
         (backend_name, encode_key(key), verdict)
@@ -565,6 +617,7 @@ def check_corpus(
     cache_dir: str | None = None,
     clear: bool = False,
     limits: SolverLimits | None = None,
+    slice_goals: bool = True,
 ) -> CorpusReport:
     """Check bundled corpus programs concurrently.
 
@@ -592,6 +645,7 @@ def check_corpus(
                 name, backend, cache_dir,
                 limits.max_steps if limits is not None else None,
                 limits.goal_timeout if limits is not None else None,
+                slice_goals,
             )
             for name in names
         ]
@@ -625,6 +679,7 @@ def check_corpus(
                 seed=False,
                 persist=False,
                 limits=limits,
+                slice_goals=slice_goals,
             )
             return _program_result(name, outcome)
 

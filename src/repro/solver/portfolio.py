@@ -109,10 +109,15 @@ def memoized_canonical_key(atoms: Sequence[Atom]) -> CanonicalKey:
     return _canonical_key_cached(tuple(atoms))
 
 
-def canonical_key_stats() -> tuple[int, int]:
-    """(hits, misses) of the canonical-key memo (bench accounting)."""
+def canonical_key_stats() -> tuple[int, int, int]:
+    """(hits, misses, evictions) of the canonical-key memo.
+
+    The lru does not count evictions directly, but every miss inserts
+    exactly one entry, so ``misses - currsize`` is the number evicted
+    since the last clear.
+    """
     info = _canonical_key_cached.cache_info()
-    return info.hits, info.misses
+    return info.hits, info.misses, info.misses - info.currsize
 
 
 def encode_key(key: CanonicalKey) -> str:
@@ -245,6 +250,17 @@ class SolverTelemetry:
     budget_exhausted: int = 0
     #: Goals whose backend crash was contained (reported unproved).
     contained_crashes: int = 0
+    #: Goal cases routed through the relevancy-slicing layer.
+    sliced_queries: int = 0
+    #: Atoms entering the slicing layer vs. atoms in the
+    #: conclusion-connected slice (the classic relevancy measure).
+    atoms_before: int = 0
+    atoms_after: int = 0
+    #: Components refuted by subsumption against a recorded core,
+    #: without any backend call.
+    subsumption_hits: int = 0
+    #: Fourier solves resumed from a presolved shared hypothesis prefix.
+    prefix_reuses: int = 0
 
     def record_decision(self, tier: str, elapsed: float, decided: bool) -> None:
         self.tier_seconds[tier] = self.tier_seconds.get(tier, 0.0) + elapsed
@@ -262,6 +278,11 @@ class SolverTelemetry:
         self.cache_evictions += other.cache_evictions
         self.budget_exhausted += other.budget_exhausted
         self.contained_crashes += other.contained_crashes
+        self.sliced_queries += other.sliced_queries
+        self.atoms_before += other.atoms_before
+        self.atoms_after += other.atoms_after
+        self.subsumption_hits += other.subsumption_hits
+        self.prefix_reuses += other.prefix_reuses
         for tier, count in other.decisions.items():
             self.decisions[tier] = self.decisions.get(tier, 0) + count
         for tier, seconds in other.tier_seconds.items():
@@ -281,6 +302,13 @@ class SolverTelemetry:
             out.append(
                 f"  tier {tier:<10} decided {decided:>5} "
                 f"in {seconds * 1000:.2f} ms"
+            )
+        if self.sliced_queries:
+            out.append(
+                f"slicing:          {self.sliced_queries} case(s), atoms "
+                f"{self.atoms_before} -> {self.atoms_after}, "
+                f"{self.subsumption_hits} subsumption hit(s), "
+                f"{self.prefix_reuses} prefix reuse(s)"
             )
         if self.budget_exhausted or self.contained_crashes:
             out.append(
@@ -469,5 +497,8 @@ def reset_global_state() -> None:
     GLOBAL_TELEMETRY.cache_hits = GLOBAL_TELEMETRY.cache_misses = 0
     GLOBAL_TELEMETRY.cache_evictions = 0
     GLOBAL_TELEMETRY.budget_exhausted = GLOBAL_TELEMETRY.contained_crashes = 0
+    GLOBAL_TELEMETRY.sliced_queries = GLOBAL_TELEMETRY.atoms_before = 0
+    GLOBAL_TELEMETRY.atoms_after = GLOBAL_TELEMETRY.subsumption_hits = 0
+    GLOBAL_TELEMETRY.prefix_reuses = 0
     GLOBAL_TELEMETRY.decisions.clear()
     GLOBAL_TELEMETRY.tier_seconds.clear()

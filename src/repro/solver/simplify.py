@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.solver.portfolio import SolverCache, SolverTelemetry
+    from repro.solver.slice import SliceContext
 
 from repro.indices import terms
 from repro.indices.constraints import (
@@ -511,10 +512,27 @@ def _case_to_atom_sets(
     (conflicting boolean literals or a ``false`` constant).  ``<>``
     comparisons fan out into further sub-cases, hence a list of sets.
     """
+    tagged = _tagged_case_atom_sets(literals, 0)
+    if tagged is None:
+        return None
+    return [atoms for atoms, _ in tagged]
+
+
+def _tagged_case_atom_sets(
+    literals: "tuple[IndexTerm, ...] | list[IndexTerm]",
+    split_index: int,
+) -> list[tuple[list[Atom], int]] | None:
+    """Like :func:`_case_to_atom_sets`, tagging each atom conjunction
+    with how many of its leading atoms came from ``literals`` before
+    ``split_index`` (the hypothesis part; the rest is the negated
+    conclusion).  Boolean-literal conflict detection spans both parts —
+    a hypothesis ``b`` and a conclusion case ``~b`` must still refute
+    the case propositionally.
+    """
     pos_bools: set[IndexTerm] = set()
     neg_bools: set[IndexTerm] = set()
-    atom_choices: list[list[list[Atom]]] = []
-    for literal in literals:
+    atom_choices: list[tuple[bool, list[list[Atom]]]] = []
+    for position, literal in enumerate(literals):
         if isinstance(literal, BConst):
             if not literal.value:
                 return None
@@ -532,7 +550,9 @@ def _case_to_atom_sets(
             continue
         if isinstance(literal, Cmp):
             try:
-                atom_choices.append(atoms_of_cmp(literal))
+                atom_choices.append(
+                    (position < split_index, atoms_of_cmp(literal))
+                )
             except NonLinearIndex as exc:
                 raise UnsupportedGoal(str(exc)) from exc
             except UnsupportedIndex as exc:  # pragma: no cover - defensive
@@ -542,16 +562,20 @@ def _case_to_atom_sets(
     if pos_bools & neg_bools:
         return None
 
-    # Cartesian product over the <> fan-outs.
+    # Cartesian product over the <> fan-outs.  Hypothesis literals
+    # precede conclusion literals, so hypothesis atoms form a prefix of
+    # every product element and a single count tags the split.
     budget = current_budget()
-    result: list[list[Atom]] = [[]]
-    for choices in atom_choices:
+    result: list[tuple[list[Atom], int]] = [([], 0)]
+    for from_hyp, choices in atom_choices:
         new_result = []
-        for base in result:
+        for base, n_hyp in result:
             for choice in choices:
                 if budget is not None:
                     budget.spend()
-                new_result.append(base + choice)
+                new_result.append(
+                    (base + choice, n_hyp + (len(choice) if from_hyp else 0))
+                )
                 if len(new_result) > _MAX_CASES:
                     raise UnsupportedGoal("case explosion from disequalities")
         result = new_result
@@ -566,6 +590,7 @@ def prove_goal(
     cache: "SolverCache | None" = None,
     telemetry: "SolverTelemetry | None" = None,
     limits: SolverLimits | None = None,
+    slicing: "SliceContext | None" = None,
 ) -> GoalResult:
     """Attempt to discharge one goal; never raises.
 
@@ -573,6 +598,12 @@ def prove_goal(
     the backend with memoization on canonical goal keys and query
     accounting.  Callers that already hold an instrumented backend —
     :func:`repro.api.check` builds one per run — pass neither.
+
+    ``slicing`` (see :mod:`repro.solver.slice`) routes every case
+    through the verdict-preserving preprocessing layer — relevancy
+    slicing, subsumption, shared-prefix Fourier — *above* the backend,
+    so the memoization cache sees the sliced (smaller, more shareable)
+    canonical keys.  ``None`` is the ``--no-slice`` escape hatch.
 
     ``limits`` is the goal's resource envelope (defaults to
     :data:`~repro.solver.budget.DEFAULT_LIMITS`): a fresh
@@ -642,9 +673,16 @@ def prove_goal(
     total_atom_sets = 0
     try:
         with use_budget(budget):
-            for atoms in goal_atom_sets(hyps, concl):
+            if slicing is not None:
+                cases = goal_cases(hyps, concl)
+            else:
+                cases = ((atoms, 0) for atoms in goal_atom_sets(hyps, concl))
+            for atoms, n_hyp in cases:
                 total_atom_sets += 1
-                verdict = backend.unsat(atoms)
+                if slicing is not None:
+                    verdict = slicing.query(backend, atoms, n_hyp)
+                else:
+                    verdict = backend.unsat(atoms)
                 if not verdict:
                     if budget.exhausted:
                         # The backend caught the exhaustion internally
@@ -693,8 +731,8 @@ def goal_atom_sets(hyps: list[IndexTerm], concl: IndexTerm):
     after div/mod/min/max/abs/sgn elimination.
 
     Raises :class:`UnsupportedGoal` on nonlinearity or inexpressible
-    operators.  Shared by :func:`prove_goal` and the counterexample
-    search in :mod:`repro.solver.diagnose`.
+    operators.  Shared by :func:`prove_goal` (``--no-slice`` path) and
+    the counterexample search in :mod:`repro.solver.diagnose`.
     """
     defs = _Definitions()
     flat_hyps = [_eliminate_ops(h, defs) for h in hyps]
@@ -707,6 +745,48 @@ def goal_atom_sets(hyps: list[IndexTerm], concl: IndexTerm):
         yield from atom_sets
 
 
+def goal_cases(hyps: list[IndexTerm], concl: IndexTerm):
+    """Yield ``(atoms, n_hyp)`` pairs for the goal's DNF cases, where
+    ``atoms[:n_hyp]`` originate from the hypotheses (and operator
+    definitions they introduced) and the rest from the negated
+    conclusion — the split the slicing layer needs.
+
+    The flattened atom conjunctions coincide with
+    :func:`goal_atom_sets`: ``conj`` is a left fold, so splitting the
+    hypothesis and conclusion conjunctions separately and taking the
+    product yields the same cases in the same lexicographic
+    (hypothesis, conclusion) order, and the hypothesis subformula's DNF
+    memo is shared with the unsliced path.
+    """
+    defs = _Definitions()
+    flat_hyps = [_eliminate_ops(h, defs) for h in hyps]
+    hyp_props = list(defs.props)
+    flat_concl = _eliminate_ops(concl, defs)
+    concl_props = defs.props[len(hyp_props):]
+    hyp_formula = terms.conj(flat_hyps + hyp_props)
+    concl_formula = terms.conj(concl_props + [_negate(flat_concl)])
+    budget = current_budget()
+    hyp_cases = _split_cases(hyp_formula)
+    concl_cases = _split_cases(concl_formula)
+    # The unsliced path caps the materialized DNF of the full formula;
+    # case counts only grow along the conj fold, so it raises exactly
+    # when the final product exceeds the cap — reproduce that here even
+    # though the product is streamed, to keep failure modes identical.
+    if len(hyp_cases) * len(concl_cases) > _MAX_CASES:
+        raise UnsupportedGoal("case explosion during DNF split")
+    for hyp_literals in hyp_cases:
+        for concl_literals in concl_cases:
+            if budget is not None:
+                budget.spend()
+            tagged = _tagged_case_atom_sets(
+                tuple(hyp_literals) + tuple(concl_literals),
+                len(hyp_literals),
+            )
+            if tagged is None:
+                continue  # propositionally refuted
+            yield from tagged
+
+
 def prove_all(
     constraint: Constraint,
     store: EvarStore,
@@ -715,8 +795,13 @@ def prove_all(
     cache: "SolverCache | None" = None,
     telemetry: "SolverTelemetry | None" = None,
     limits: SolverLimits | None = None,
+    slicing: "SliceContext | None" = None,
 ) -> list[GoalResult]:
-    """The full Section 3 pipeline for one constraint tree."""
+    """The full Section 3 pipeline for one constraint tree.
+
+    ``slicing`` is shared across all goals, so refuted cores and
+    presolved hypothesis prefixes from one goal accelerate the next.
+    """
     if cache is not None or telemetry is not None:
         from repro.solver.portfolio import instrument
 
@@ -726,6 +811,6 @@ def prove_all(
     if stats is not None:
         stats.evars_solved += solved
     return [
-        prove_goal(goal, store, backend, stats, limits=limits)
+        prove_goal(goal, store, backend, stats, limits=limits, slicing=slicing)
         for goal in goals
     ]

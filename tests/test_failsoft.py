@@ -28,12 +28,15 @@ TIGHT = SolverLimits(max_steps=60)
 
 @pytest.fixture()
 def crashy_backend():
-    """A registered backend that proves small systems via fourier but
-    crashes on larger ones — a batch checks some goals and must contain
-    the crashes of the rest."""
+    """A registered backend that proves simple systems via fourier but
+    crashes on any system with a multi-variable atom — a batch checks
+    some goals and must contain the crashes of the rest.  The trigger
+    is per-atom (not system size) so the relevancy-slicing layer,
+    which shrinks systems but preserves every conclusion-connected
+    atom, still hits it."""
 
     def unsat(atoms):
-        if len(atoms) >= 6:
+        if any(len(atom.lhs.variables()) >= 2 for atom in atoms):
             raise RuntimeError("synthetic backend crash")
         return fourier.fourier_unsat(atoms)
 
