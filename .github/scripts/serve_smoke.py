@@ -1,0 +1,139 @@
+"""CI smoke: the `repro serve` daemon answers like `repro check`.
+
+Launches the real CLI daemon as a subprocess, then:
+
+1. runs a cold/warm request pair per probe program and diffs both
+   against the sequential ``api.check`` verdicts (the same triples
+   ``repro check`` renders);
+2. runs one ``/check-batch`` over the whole corpus and diffs every
+   result;
+3. exercises admission control (negative budget -> HTTP 400) and the
+   telemetry endpoints;
+4. shuts the daemon down and fails on a nonzero exit code.
+
+Exit status is nonzero on any verdict drift or protocol failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, "src")
+
+from repro import api, programs  # noqa: E402
+from repro.server.client import ServeClient, ServeError  # noqa: E402
+
+PROBES = ["dotprod", "bsearch", "reverse"]
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def reference_verdicts(name: str) -> list[list]:
+    report = api.check(programs.load_source(name), f"{name}.dml")
+    return [[r.goal.origin, r.proved, r.reason] for r in report.goal_results]
+
+
+def launch(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    fail("daemon never reported a listening port")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        proc, port = launch(os.path.join(tmp, "serve-cache"))
+        client = ServeClient(port)
+        try:
+            if client.healthz().get("status") != "ok":
+                fail("healthz not ok")
+
+            for name in PROBES:
+                expected = reference_verdicts(name)
+                source = programs.load_source(name)
+                started = time.perf_counter()
+                cold = client.check(source, f"{name}.dml")
+                cold_ms = (time.perf_counter() - started) * 1000
+                started = time.perf_counter()
+                warm = client.check(source, f"{name}.dml")
+                warm_ms = (time.perf_counter() - started) * 1000
+                for label, answer in (("cold", cold), ("warm", warm)):
+                    if answer["verdicts"] != expected:
+                        fail(f"{label} /check verdict drift on {name}")
+                print(
+                    f"ok {name}: cold {cold_ms:.1f} ms, warm {warm_ms:.1f} ms"
+                )
+
+            payloads = [
+                ServeClient.request_payload(
+                    programs.load_source(name), f"{name}.dml"
+                )
+                for name in programs.available()
+            ]
+            for result in client.check_batch(payloads):
+                name = result["name"].removesuffix(".dml")
+                if result["verdicts"] != reference_verdicts(name):
+                    fail(f"/check-batch verdict drift on {name}")
+            print(f"ok batch: {len(payloads)} programs, no drift")
+
+            try:
+                client.check("fun f x = x\n", budget=-1)
+                fail("negative budget was not rejected")
+            except ServeError as exc:
+                if exc.status != 400:
+                    fail(f"negative budget: expected 400, got {exc.status}")
+            print("ok admission: negative budget -> 400")
+
+            stats = client.stats()
+            if stats["checks"] < 2 * len(PROBES) + len(payloads):
+                fail(f"stats undercounts checks: {stats['checks']}")
+            print(
+                f"ok stats: {stats['checks']} checks, "
+                f"{stats['solver']['queries']} solver queries, "
+                f"{stats['cache']['hits']} cache hits"
+            )
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                code = proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                fail("daemon did not exit on SIGINT")
+        if code != 0:
+            fail(f"daemon exited with {code}")
+        print("ok shutdown: exit 0")
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Warm daemon requests vs. cold one-shot ``repro check``.
+
+The daemon exists for exactly one number: the latency of a ``/check``
+request against a *warm* process — prelude template elaborated, solver
+caches and slice context populated — versus a cold ``repro check``
+invocation that pays interpreter startup, imports, prelude
+elaboration, and empty caches every time.  PR 2/3 measured the
+prelude+cache win inside one process; this benchmark shows the same
+win delivered per-request over HTTP.
+
+Run with ``python -m pytest benchmarks/bench_serve.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import programs
+from repro.server.app import ServeDaemon
+from repro.server.client import ServeClient
+from repro.server.sessions import CheckService, ServerConfig
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+_PROGRAM = "bsearch"
+_WARM_REQUESTS = 10
+
+
+def _cold_check_seconds(path: Path) -> float:
+    """One cold ``repro check``: a fresh interpreter, empty caches."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC)
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check", str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=path.parent,
+    )
+    elapsed = time.perf_counter() - started
+    assert proc.returncode == 0, proc.stderr
+    return elapsed
+
+
+def test_warm_requests_beat_cold_cli(tmp_path):
+    source = programs.load_source(_PROGRAM)
+    path = tmp_path / f"{_PROGRAM}.dml"
+    path.write_text(source)
+
+    # Cold side: single-shot CLI runs (best of two, to give the cold
+    # path the benefit of a hot OS page cache).
+    cold = min(_cold_check_seconds(path) for _ in range(2))
+
+    daemon = ServeDaemon(
+        CheckService(ServerConfig(cache_dir=str(tmp_path / "cache"))),
+        port=0,
+    ).start_in_thread()
+    try:
+        client = ServeClient(daemon.port)
+        first = client.check(source, f"{_PROGRAM}.dml")
+        assert first["ok"] is True
+        warm: list[float] = []
+        for _ in range(_WARM_REQUESTS):
+            started = time.perf_counter()
+            answer = client.check(source, f"{_PROGRAM}.dml")
+            warm.append(time.perf_counter() - started)
+            assert answer["verdicts"] == first["verdicts"]
+    finally:
+        daemon.stop()
+
+    warm_median = statistics.median(warm)
+    print()
+    print(f"cold `repro check {_PROGRAM}.dml` (best of 2): "
+          f"{cold * 1000:8.1f} ms")
+    print(f"warm daemon /check (median of {_WARM_REQUESTS}):     "
+          f"{warm_median * 1000:8.1f} ms")
+    print(f"speedup:                                 "
+          f"{cold / warm_median:8.1f}x")
+    # The acceptance bar: a warm request is strictly faster than a
+    # one-shot check.  In practice the gap is one to two orders of
+    # magnitude (process startup + prelude vs. one fork + warm caches).
+    assert warm_median < cold
+
+
+def test_batch_fans_out_and_matches_sequential(tmp_path):
+    names = programs.available()
+    daemon = ServeDaemon(
+        CheckService(ServerConfig(cache_dir=None)), port=0
+    ).start_in_thread()
+    try:
+        client = ServeClient(daemon.port)
+        payloads = [
+            ServeClient.request_payload(
+                programs.load_source(name), f"{name}.dml"
+            )
+            for name in names
+        ]
+
+        sequential_started = time.perf_counter()
+        sequential = [client.check(p["source"], p["name"]) for p in payloads]
+        sequential_seconds = time.perf_counter() - sequential_started
+
+        batch_started = time.perf_counter()
+        batch = client.check_batch(payloads)
+        batch_seconds = time.perf_counter() - batch_started
+    finally:
+        daemon.stop()
+
+    for lhs, rhs in zip(sequential, batch):
+        assert lhs["verdicts"] == rhs["verdicts"], rhs["name"]
+    print()
+    print(f"{len(names)} programs, sequential /check: "
+          f"{sequential_seconds * 1000:8.1f} ms")
+    print(f"{len(names)} programs, one /check-batch:  "
+          f"{batch_seconds * 1000:8.1f} ms")

@@ -266,6 +266,7 @@ def check(
     telemetry: SolverTelemetry | None = None,
     limits: SolverLimits | None = None,
     slice_goals: bool = True,
+    slicing: SliceContext | None = None,
 ) -> CheckReport:
     """Run the full static pipeline on ``source``.
 
@@ -286,10 +287,18 @@ def check(
     ``slice_goals`` controls the verdict-preserving goal-preprocessing
     layer (:mod:`repro.solver.slice`: relevancy slicing, subsumption,
     shared-prefix Fourier).  ``False`` is the ``--no-slice`` escape
-    hatch; verdicts are identical either way.
+    hatch; verdicts are identical either way.  ``slicing`` overrides
+    the per-check context with a caller-owned one — the checking
+    daemon (:mod:`repro.server`) shares a single :class:`SliceContext`
+    across requests so refuted cores and presolved prefixes stay warm;
+    the layer's invariant (never changes a verdict) makes the sharing
+    observationally equivalent to a fresh context.
     """
     backend, telemetry = _resolve_backend(backend, cache, telemetry)
-    slicing = SliceContext(telemetry) if slice_goals else None
+    if slicing is None:
+        slicing = SliceContext(telemetry) if slice_goals else None
+    elif not slice_goals:
+        slicing = None
 
     front = elaborate_source(source, name, include_prelude)
     src, store, elab = front.source, front.store, front.elab

@@ -15,7 +15,11 @@ Subcommands:
   ``python -m repro.bench``);
 * ``dml check-corpus``  — check every bundled corpus program through
   the parallel, incrementally-cached driver (``repro.driver``) and
-  print an aggregate Table-1-style report with cache telemetry.
+  print an aggregate Table-1-style report with cache telemetry;
+* ``dml serve``         — run the warm checking daemon
+  (``repro.server``): prelude template, solver caches, and the
+  goal-preprocessing context stay hot across HTTP/JSON ``/check``
+  requests, with server-side admission caps on client budgets.
 
 The ``repro`` entry point is an alias for ``dml``.
 """
@@ -38,20 +42,60 @@ def _read(path: str) -> str:
     return Path(path).read_text()
 
 
+def _budget_steps(text: str) -> int:
+    """``--budget`` argument type: a non-negative step count.
+
+    Only ``0`` is documented to lift the cap; a negative value is a
+    usage error, not a silent "no budgeting".
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid step count: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"step budget must be >= 0 (got {value}; 0 lifts the cap)"
+        )
+    return value
+
+
+def _timeout_seconds(text: str) -> float:
+    """``--goal-timeout`` argument type: non-negative seconds
+    (``0`` explicitly means "no deadline"; negatives are rejected)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid seconds value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"goal timeout must be >= 0 (got {value}; 0 means no deadline)"
+        )
+    return value
+
+
 def _limits(args: argparse.Namespace) -> SolverLimits | None:
     """Build per-goal solver limits from ``--budget``/``--goal-timeout``.
 
     ``None`` (no flag given) keeps the defaults; ``--budget 0`` lifts
-    the step cap entirely.
+    the step cap entirely, and ``--goal-timeout 0`` means "no
+    deadline".  Negative values never reach here — the argument types
+    (:func:`_budget_steps`/:func:`_timeout_seconds`) reject them with
+    a usage error.
     """
     budget = getattr(args, "budget", None)
     timeout = getattr(args, "goal_timeout", None)
     if budget is None and timeout is None:
         return None
+    if (budget is not None and budget < 0) or (
+        timeout is not None and timeout < 0
+    ):
+        raise ValueError("budget/timeout must be non-negative")
     max_steps = DEFAULT_LIMITS.max_steps
     if budget is not None:
         max_steps = budget if budget > 0 else None
-    goal_timeout = timeout if timeout is not None and timeout > 0 else None
+    goal_timeout = DEFAULT_LIMITS.goal_timeout
+    if timeout is not None:
+        goal_timeout = timeout if timeout > 0 else None
     return SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
 
 
@@ -231,6 +275,27 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
     return 0 if report.all_ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import ServeDaemon
+    from repro.server.sessions import CheckService, ServerConfig
+
+    caps = SolverLimits(
+        max_steps=args.max_budget if args.max_budget > 0 else None,
+        goal_timeout=(
+            args.max_goal_timeout if args.max_goal_timeout > 0 else None
+        ),
+    )
+    config = ServerConfig(
+        backend=args.backend,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        caps=caps,
+        slice_goals=not args.no_slice,
+    )
+    daemon = ServeDaemon(CheckService(config), host=args.host, port=args.port)
+    return daemon.run()
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -270,14 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "either way")
 
     def budget_flags(p):
-        p.add_argument("--budget", type=int, default=None, metavar="STEPS",
+        p.add_argument("--budget", type=_budget_steps, default=None,
+                       metavar="STEPS",
                        help="per-goal solver step budget (fail-soft: an "
                             "exhausted goal keeps its run-time check; "
-                            "0 = unlimited)")
-        p.add_argument("--goal-timeout", type=float, default=None,
+                            "0 = unlimited, negatives are a usage error)")
+        p.add_argument("--goal-timeout", type=_timeout_seconds, default=None,
                        metavar="SECONDS",
                        help="per-goal wall-clock deadline (fail-soft, "
-                            "like --budget; 0 = no deadline)")
+                            "like --budget; 0 = no deadline, negatives "
+                            "are a usage error)")
 
     p_check = sub.add_parser("check", help="type-check a program")
     common(p_check)
@@ -343,6 +410,43 @@ def build_parser() -> argparse.ArgumentParser:
     slice_flag(p_corpus)
     budget_flags(p_corpus)
     p_corpus.set_defaults(fn=cmd_check_corpus)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the warm checking daemon (HTTP/JSON; see "
+             "POST /check, POST /check-batch, GET /stats, GET /healthz)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8972, metavar="PORT",
+                         help="listen port (default: 8972; 0 = pick a "
+                              "free one)")
+    p_serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                         help="worker threads answering requests "
+                              "(default: CPU count)")
+    p_serve.add_argument("--backend", default="fourier",
+                         choices=backend_names(),
+                         help="default solver backend for requests that "
+                              "name none")
+    p_serve.add_argument("--max-budget", type=_budget_steps,
+                         default=DEFAULT_LIMITS.max_steps, metavar="STEPS",
+                         help="admission cap on per-goal step budgets: "
+                              "client-requested budgets are clamped to "
+                              "this (default: the process default; "
+                              "0 = uncapped)")
+    p_serve.add_argument("--max-goal-timeout", type=_timeout_seconds,
+                         default=0.0, metavar="SECONDS",
+                         help="admission cap on per-goal deadlines "
+                              "(default: 0 = uncapped)")
+    p_serve.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                         help="persistent verdict cache directory "
+                              "(default: .repro-cache)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="run without the persistent verdict cache")
+    p_serve.add_argument("--no-slice", action="store_true",
+                         help="disable the shared goal-preprocessing "
+                              "layer for all requests")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_bench = sub.add_parser("bench", help="regenerate the paper's tables")
     p_bench.add_argument("--preset", choices=["small", "default", "paper"])

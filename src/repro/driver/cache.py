@@ -184,6 +184,24 @@ class DiskCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, separators=(",", ":"))
+                # Flush to the kernel and force it to stable storage
+                # *before* publishing: os.replace is atomic in the
+                # namespace but says nothing about data, so without the
+                # fsync a crash could publish a torn file (recovered
+                # only via the corrupt->cold path).
+                handle.flush()
+                os.fsync(handle.fileno())
+            # mkstemp creates 0600; give the published file the
+            # destination's existing mode (or a fresh umask-honoring
+            # default) so the cache stays shareable between users the
+            # way any other created file would be.
+            try:
+                mode = os.stat(self.path).st_mode & 0o777
+            except OSError:
+                umask = os.umask(0)
+                os.umask(umask)
+                mode = 0o666 & ~umask
+            os.chmod(tmp, mode)
             os.replace(tmp, self.path)
         except BaseException:
             try:
@@ -193,10 +211,21 @@ class DiskCache:
             raise
 
     def clear(self) -> None:
-        """Drop all entries (and the on-disk file, if present)."""
+        """Drop all entries (and the on-disk file, if present).
+
+        Statistics reset too: after a clear the store is
+        indistinguishable from a cold start, so telemetry must not
+        keep reporting phantom warm-load counts (``loaded_solver``/
+        ``loaded_decls``) or hits against entries that no longer
+        exist."""
         with self._lock:
             self._solver.clear()
             self._decls.clear()
+            self.loaded_solver = 0
+            self.loaded_decls = 0
+            self.corrupt = False
+            self.decl_hits = 0
+            self.decl_misses = 0
         try:
             self.path.unlink()
         except OSError:

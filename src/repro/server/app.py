@@ -1,0 +1,313 @@
+"""The asyncio HTTP front end of ``repro serve``.
+
+A deliberately small HTTP/1.1 server on raw asyncio streams — no
+framework, no dependencies, connection-per-request (clients of a local
+checking daemon pay microseconds for the reconnect; the win this
+daemon exists for is the *milliseconds* of prelude elaboration and
+cold caches).  Endpoints:
+
+* ``POST /check``       — one :class:`~repro.server.protocol.CheckRequest`
+  in, one check report out (HTTP 422 when the program fails to
+  parse/elaborate; solver trouble is fail-soft and never an error).
+* ``POST /check-batch`` — ``{"programs": [request...]}``; fans the
+  items out over the service's worker thread pool and answers when all
+  are done.  Per-item failures are contained: a program that fails to
+  parse yields an ``{"ok": false, "error": ...}`` entry, the rest of
+  the batch is unaffected.
+* ``GET /stats``        — daemon/cache/solver/slicing telemetry.
+* ``GET /healthz``      — liveness probe (answers without touching the
+  solver stack).
+
+The CPU-bound checking runs in the service's
+:class:`~concurrent.futures.ThreadPoolExecutor` via
+``loop.run_in_executor`` — the event loop stays responsive (health
+checks answer while long checks run), and request handlers crash only
+their own connection, never the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Awaitable, Callable
+
+from repro.lang.errors import DMLError
+from repro.server.protocol import (
+    MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    CheckRequest,
+    ProtocolError,
+    batch_from_json,
+    error_response,
+)
+from repro.server.sessions import CheckService
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+def _encode(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class ServeDaemon:
+    """One daemon instance: an asyncio server wrapped around a
+    :class:`~repro.server.sessions.CheckService`.
+
+    Two run modes: :meth:`run` blocks the calling thread (the CLI), and
+    :meth:`start_in_thread`/:meth:`stop` host the event loop on a
+    background thread (tests, benchmarks, the CI smoke script).
+    """
+
+    def __init__(
+        self,
+        service: CheckService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        #: Requested port; rewritten to the bound port once listening
+        #: (``0`` asks the OS for a free one).
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+            writer.write(_encode(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            try:
+                writer.write(
+                    _encode(500, error_response(f"internal error: {exc}"))
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict]:
+        try:
+            method, target, body = await self._read_request(reader)
+        except ProtocolError as exc:
+            self.service.count_rejected()
+            return exc.status, error_response(str(exc))
+
+        route = _ROUTES.get(target)
+        if route is None:
+            return 404, error_response(f"no such endpoint: {target}")
+        expected_method, handler = route
+        if method != expected_method:
+            return 405, error_response(
+                f"{target} expects {expected_method}, got {method}"
+            )
+        try:
+            return await handler(self, body)
+        except ProtocolError as exc:
+            self.service.count_rejected()
+            return exc.status, error_response(str(exc))
+        except DMLError as exc:
+            return 422, error_response(exc.render())
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            raise ProtocolError("malformed request line")
+        method, target = parts[0].upper(), parts[1].split("?", 1)[0]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1", "replace").partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise ProtocolError("malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"body too large ({length} > {MAX_BODY_BYTES} bytes)",
+                status=413,
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    @staticmethod
+    def _parse_json(body: bytes) -> object:
+        try:
+            return json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _check(self, body: bytes) -> tuple[int, dict]:
+        request = CheckRequest.from_json(self._parse_json(body))
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self.service.pool, self.service.check, request
+        )
+        return 200, payload
+
+    async def _check_batch(self, body: bytes) -> tuple[int, dict]:
+        requests = batch_from_json(self._parse_json(body))
+        self.service.count_batch(len(requests))
+        loop = asyncio.get_running_loop()
+
+        def run_one(request: CheckRequest) -> dict:
+            try:
+                return self.service.check(request)
+            except DMLError as exc:
+                failure = error_response(exc.render())
+                failure["name"] = request.name
+                return failure
+
+        results = await asyncio.gather(
+            *(
+                loop.run_in_executor(self.service.pool, run_one, request)
+                for request in requests
+            )
+        )
+        return 200, {"results": list(results)}
+
+    async def _stats(self, body: bytes) -> tuple[int, dict]:
+        return 200, self.service.stats_json()
+
+    async def _healthz(self, body: bytes) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "version": PROTOCOL_VERSION,
+            "backend": self.service.config.backend,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _start_server(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _serve(self) -> None:
+        await self._start_server()
+        assert self._server is not None
+        print(f"repro serve: listening on http://{self.host}:{self.port}")
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self) -> int:
+        """Serve until interrupted (the ``repro serve`` CLI path)."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.service.close()
+        return 0
+
+    def start_in_thread(self) -> "ServeDaemon":
+        """Host the event loop on a daemon thread; returns once the
+        socket is bound (``self.port`` then holds the real port)."""
+        self._loop = asyncio.new_event_loop()
+
+        def runner() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._start_server())
+            except BaseException as exc:  # noqa: BLE001 - report to caller
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"daemon failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop a :meth:`start_in_thread` daemon and flush its cache."""
+        if self._loop is None:
+            return
+
+        async def shutdown() -> None:
+            assert self._loop is not None
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            # Let in-flight connection handlers unwind before the loop
+            # dies (they only have responses left to flush).
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            self._loop.stop()
+
+        if not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(shutdown(), self._loop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop = None
+        self.service.close()
+
+
+_ROUTES: dict[
+    str, tuple[str, Callable[[ServeDaemon, bytes], Awaitable[tuple[int, dict]]]]
+] = {
+    "/check": ("POST", ServeDaemon._check),
+    "/check-batch": ("POST", ServeDaemon._check_batch),
+    "/stats": ("GET", ServeDaemon._stats),
+    "/healthz": ("GET", ServeDaemon._healthz),
+}

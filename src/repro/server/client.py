@@ -1,0 +1,124 @@
+"""A small blocking client for the checking daemon.
+
+Used by the tests, the CI serve-smoke job, and
+``benchmarks/bench_serve.py``; kept dependency-free on
+:mod:`http.client` so it runs wherever the daemon does.  One
+connection per request, matching the daemon's connection-per-request
+protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon answer; carries the HTTP status and the
+    decoded error payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` daemon."""
+
+    def __init__(
+        self, port: int, host: str = "127.0.0.1", timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            conn.close()
+        decoded = json.loads(raw) if raw else {}
+        if status >= 400:
+            raise ServeError(status, decoded)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def check(
+        self,
+        source: str,
+        name: str = "<request>",
+        *,
+        backend: str | None = None,
+        budget: int | None = None,
+        goal_timeout: float | None = None,
+        slice_goals: bool | None = None,
+    ) -> dict:
+        """``POST /check``: returns the daemon's check report dict
+        (``verdicts`` carries the sequential checker's exact
+        ``(origin, proved, reason)`` triples)."""
+        return self._request(
+            "POST", "/check", self.request_payload(
+                source, name, backend=backend, budget=budget,
+                goal_timeout=goal_timeout, slice_goals=slice_goals,
+            )
+        )
+
+    def check_batch(self, programs: list[dict]) -> list[dict]:
+        """``POST /check-batch`` over prebuilt request payloads (see
+        :meth:`request_payload`); returns the per-program results in
+        request order."""
+        answer = self._request(
+            "POST", "/check-batch", {"programs": programs}
+        )
+        return answer["results"]
+
+    @staticmethod
+    def request_payload(
+        source: str,
+        name: str = "<request>",
+        *,
+        backend: str | None = None,
+        budget: int | None = None,
+        goal_timeout: float | None = None,
+        slice_goals: bool | None = None,
+    ) -> dict[str, Any]:
+        """One ``/check`` request body; omits everything unset so the
+        daemon's defaults apply."""
+        payload: dict[str, Any] = {"source": source, "name": name}
+        if backend is not None:
+            payload["backend"] = backend
+        if budget is not None:
+            payload["budget"] = budget
+        if goal_timeout is not None:
+            payload["goal_timeout"] = goal_timeout
+        if slice_goals is not None:
+            payload["slice_goals"] = slice_goals
+        return payload

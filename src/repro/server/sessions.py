@@ -1,0 +1,239 @@
+"""Warm daemon state and per-request check execution.
+
+What stays warm across requests (and why each piece is safe to share):
+
+* **the elaborated prelude template** — :func:`repro.api.check`
+  already memoizes it process-wide; the service forces the
+  elaboration at construction time so the *first* request is as warm
+  as the rest.  Each request still gets an isolated session: the
+  template is only ever :meth:`~repro.core.ml_infer.MLInferencer.fork`-ed,
+  so one request's declarations can never leak into another's.
+* **the intern table** — process-global and content-addressed
+  (:mod:`repro.indices.intern`); sharing is its whole point.
+* **the solver-verdict cache** — one locked
+  :class:`~repro.solver.portfolio.SolverCache`, seeded from the
+  persistent :class:`~repro.driver.cache.DiskCache` at startup and
+  absorbed back periodically.  Canonical keys quotient by variable
+  renaming, so verdicts cached by one request answer structurally
+  identical queries from any other.
+* **the slice context** — one locked
+  :class:`~repro.solver.slice.SliceContext`: refuted cores and
+  presolved hypothesis prefixes are monotone, verdict-preserving
+  facts, so accumulating them across requests only converts backend
+  calls into hits.
+
+Per request, nothing is shared: a fresh prelude fork, a fresh
+:class:`~repro.indices.terms.EvarStore`, a fresh per-request
+:class:`~repro.solver.portfolio.SolverTelemetry` (merged into the
+daemon-wide aggregate under a lock afterwards), and an
+admission-clamped :class:`~repro.solver.budget.SolverLimits` envelope.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import api
+from repro.driver.cache import DEFAULT_CACHE_DIR, DiskCache
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    CheckRequest,
+    admit_limits,
+    check_response,
+)
+from repro.solver.budget import DEFAULT_LIMITS, SolverLimits
+from repro.solver.portfolio import SolverCache, SolverTelemetry
+from repro.solver.slice import SliceContext
+
+#: Absorb-and-save the persistent cache every this many checks (plus
+#: once at shutdown); a crash in between loses at most an optimization.
+_PERSIST_EVERY = 64
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one daemon instance (CLI: ``repro serve``)."""
+
+    backend: str = "fourier"
+    #: Worker threads answering requests (``None``/0 = CPU count).
+    jobs: int | None = None
+    #: Persistent verdict cache directory (``None`` disables it).
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    #: Server-side admission caps; client-requested budgets are
+    #: clamped against these (``None`` components = uncapped).
+    caps: SolverLimits = field(default_factory=lambda: DEFAULT_LIMITS)
+    #: Goal preprocessing for requests that don't opt out themselves.
+    slice_goals: bool = True
+
+    @property
+    def effective_jobs(self) -> int:
+        if self.jobs is None or self.jobs <= 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+
+class CheckService:
+    """The blocking core of the daemon: owns the warm state, executes
+    validated requests.  The asyncio front end
+    (:mod:`repro.server.app`) calls :meth:`check` on :attr:`pool`
+    threads; everything here is therefore written to be shared."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        # Force the prelude elaboration now: the daemon's first request
+        # should already be warm.
+        api._prelude_inferencer()
+        self.disk = (
+            DiskCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self.cache = SolverCache(maxsize=65536)
+        self.preloaded = self.disk.seed(self.cache) if self.disk else 0
+        #: Daemon-lifetime aggregate (slicing counters land here
+        #: directly via the shared context; per-request backend
+        #: counters are merged in after each check).
+        self.telemetry = SolverTelemetry()
+        self.slicing = (
+            SliceContext(self.telemetry) if self.config.slice_goals else None
+        )
+        self.pool = ThreadPoolExecutor(
+            max_workers=self.config.effective_jobs,
+            thread_name_prefix="repro-serve",
+        )
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._unsaved = 0
+        # -- request counters (under self._lock) -----------------------
+        self.checks = 0
+        self.batches = 0
+        self.rejected = 0
+        self.check_errors = 0
+        self.busy_seconds = 0.0
+
+    # -- request execution -------------------------------------------------
+
+    def check(self, request: CheckRequest) -> dict:
+        """Execute one validated request; returns the JSON response.
+
+        Raises :class:`repro.lang.errors.DMLError` for programs that
+        fail to parse/elaborate (the app maps it to HTTP 422) — solver
+        trouble never raises, by the fail-soft contract.
+        """
+        limits = admit_limits(request, self.config.caps)
+        slice_goals = request.slice_goals and self.config.slice_goals
+        telemetry = SolverTelemetry()
+        started = time.perf_counter()
+        try:
+            report = api.check(
+                request.source,
+                request.name,
+                backend=request.backend or self.config.backend,
+                cache=self.cache,
+                telemetry=telemetry,
+                limits=limits,
+                slice_goals=slice_goals,
+                slicing=self.slicing if slice_goals else None,
+            )
+        except Exception:
+            with self._lock:
+                self.check_errors += 1
+            raise
+        wall = time.perf_counter() - started
+        with self._lock:
+            self.checks += 1
+            self.busy_seconds += wall
+            self.telemetry.merge(telemetry)
+        self._persist(final=False)
+        return check_response(report, wall, limits)
+
+    def count_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+
+    def count_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    # -- persistence -------------------------------------------------------
+
+    def _persist(self, final: bool) -> None:
+        if self.disk is None:
+            return
+        with self._lock:
+            self._unsaved += 1
+            due = final or self._unsaved >= _PERSIST_EVERY
+            if due:
+                self._unsaved = 0
+        if due:
+            self.disk.absorb(self.cache)
+            self.disk.save()
+
+    def close(self) -> None:
+        """Flush the persistent cache and stop the worker pool."""
+        self.pool.shutdown(wait=True)
+        self._persist(final=True)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats_json(self) -> dict:
+        """The ``GET /stats`` body: daemon, cache, solver, and slicing
+        telemetry accumulated since startup."""
+        with self._lock:
+            telemetry = SolverTelemetry()
+            telemetry.merge(self.telemetry)
+            checks, batches = self.checks, self.batches
+            rejected, errors = self.rejected, self.check_errors
+            busy = self.busy_seconds
+        return {
+            "version": PROTOCOL_VERSION,
+            "backend": self.config.backend,
+            "jobs": self.config.effective_jobs,
+            "uptime_seconds": time.monotonic() - self._started,
+            "checks": checks,
+            "batches": batches,
+            "rejected": rejected,
+            "check_errors": errors,
+            "busy_seconds": busy,
+            "caps": {
+                "max_steps": self.config.caps.max_steps,
+                "goal_timeout": self.config.caps.goal_timeout,
+            },
+            "solver": {
+                "queries": telemetry.queries,
+                "unsat": telemetry.unsat,
+                "cache_hits": telemetry.cache_hits,
+                "cache_misses": telemetry.cache_misses,
+                "cache_evictions": telemetry.cache_evictions,
+                "decisions": dict(telemetry.decisions),
+                "budget_exhausted": telemetry.budget_exhausted,
+                "contained_crashes": telemetry.contained_crashes,
+            },
+            "slicing": {
+                "enabled": self.config.slice_goals,
+                "sliced_queries": telemetry.sliced_queries,
+                "atoms_before": telemetry.atoms_before,
+                "atoms_after": telemetry.atoms_after,
+                "subsumption_hits": telemetry.subsumption_hits,
+                "prefix_reuses": telemetry.prefix_reuses,
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "preloaded": self.preloaded,
+                "persistent": self.disk is not None,
+                "persisted_solver_entries": (
+                    self.disk.solver_entry_count if self.disk else 0
+                ),
+                "persisted_decl_entries": (
+                    self.disk.decl_entry_count if self.disk else 0
+                ),
+                "corrupt": self.disk.corrupt if self.disk else False,
+            },
+        }

@@ -65,6 +65,58 @@ class TestRoundTrip:
         assert not (tmp_path / CACHE_FILENAME).exists()
         assert DiskCache(tmp_path).loaded_decls == 0
 
+    def test_clear_resets_statistics(self, tmp_path):
+        # Fill, save, and reload so every statistic is nonzero.
+        disk = DiskCache(tmp_path)
+        disk.absorb(filled_memory_cache())
+        disk.decl_store("abc", [("sub#1", True, "")])
+        disk.save()
+        warmed = DiskCache(tmp_path)
+        assert warmed.decl_lookup("abc") is not None  # one hit
+        assert warmed.decl_lookup("missing") is None  # one miss
+        assert warmed.loaded_solver == 1
+        assert warmed.loaded_decls == 1
+        assert warmed.decl_hits == 1
+        assert warmed.decl_misses == 1
+
+        warmed.clear()
+        # Post-clear, telemetry must read like a cold start: no phantom
+        # warm-load counts after `check-corpus --clear-cache`.
+        assert warmed.loaded_solver == 0
+        assert warmed.loaded_decls == 0
+        assert warmed.decl_hits == 0
+        assert warmed.decl_misses == 0
+        assert warmed.corrupt is False
+        assert warmed.solver_entry_count == 0
+        assert warmed.decl_entry_count == 0
+
+    def test_clear_resets_the_corrupt_flag(self, tmp_path):
+        (tmp_path / CACHE_FILENAME).write_text("{not json")
+        disk = DiskCache(tmp_path)
+        assert disk.corrupt
+        disk.clear()
+        assert disk.corrupt is False
+
+    def test_save_preserves_existing_permissions(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.decl_store("k", [("sub#1", True, "")])
+        disk.save()
+        os.chmod(tmp_path / CACHE_FILENAME, 0o604)
+        disk.decl_store("k2", [("sub#2", True, "")])
+        disk.save()
+        mode = os.stat(tmp_path / CACHE_FILENAME).st_mode & 0o777
+        assert mode == 0o604
+
+    def test_fresh_save_honors_the_umask_not_mkstemp(self, tmp_path):
+        umask = os.umask(0)
+        os.umask(umask)
+        disk = DiskCache(tmp_path)
+        disk.decl_store("k", [("sub#1", True, "")])
+        disk.save()
+        mode = os.stat(tmp_path / CACHE_FILENAME).st_mode & 0o777
+        # mkstemp's 0600 must not leak through to the published file.
+        assert mode == (0o666 & ~umask)
+
 
 class TestCorruption:
     def write(self, tmp_path, text: str) -> None:

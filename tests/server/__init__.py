@@ -1,0 +1,1 @@
+"""Tests for the warm checking daemon (``repro serve``)."""

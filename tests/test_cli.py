@@ -171,6 +171,87 @@ class TestCommands:
         assert capsys.readouterr().out.strip() == "[3, 2, 1]"
 
 
+class TestBudgetFlags:
+    """--budget/--goal-timeout validation: only 0 lifts a cap;
+    negatives are usage errors, never silent "no budgeting"."""
+
+    def test_negative_budget_is_a_usage_error(self, good_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", good_file, "--budget", "-1"])
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_negative_budget_rejected_everywhere(self, good_file, capsys):
+        for argv in (
+            ["goals", good_file, "--budget", "-5"],
+            ["check-corpus", "bsearch", "--budget", "-5"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
+
+    def test_negative_timeout_is_a_usage_error(self, good_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", good_file, "--goal-timeout", "-0.5"])
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_zero_budget_lifts_the_cap(self, good_file, capsys):
+        assert main(["check", good_file, "--budget", "0"]) == 0
+        assert "proof goals" in capsys.readouterr().out
+
+    def test_zero_timeout_means_no_deadline(self, good_file, capsys):
+        assert main(["check", good_file, "--goal-timeout", "0"]) == 0
+        assert "proof goals" in capsys.readouterr().out
+
+    def test_limits_helper_semantics(self):
+        import argparse
+
+        from repro.cli import _limits
+        from repro.solver.budget import DEFAULT_LIMITS
+
+        ns = argparse.Namespace(budget=None, goal_timeout=None)
+        assert _limits(ns) is None  # no flags: library defaults
+        ns = argparse.Namespace(budget=0, goal_timeout=None)
+        assert _limits(ns).max_steps is None  # 0 = unlimited
+        ns = argparse.Namespace(budget=120, goal_timeout=0.0)
+        limits = _limits(ns)
+        assert limits.max_steps == 120
+        assert limits.goal_timeout is None  # explicit 0 = no deadline
+        ns = argparse.Namespace(budget=None, goal_timeout=1.5)
+        limits = _limits(ns)
+        assert limits.max_steps == DEFAULT_LIMITS.max_steps
+        assert limits.goal_timeout == 1.5
+        # Defensive: negatives cannot sneak past the parser, and the
+        # helper refuses them too.
+        ns = argparse.Namespace(budget=-5, goal_timeout=None)
+        with pytest.raises(ValueError):
+            _limits(ns)
+
+
+class TestServeParser:
+    def test_serve_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-budget", "500", "--no-cache"]
+        )
+        assert args.fn.__name__ == "cmd_serve"
+        assert args.port == 0
+        assert args.max_budget == 500
+        assert args.no_cache is True
+
+    def test_serve_rejects_negative_max_budget(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--max-budget", "-1"])
+        assert exc.value.code == 2
+
+    def test_serve_rejects_negative_max_timeout(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--max-goal-timeout", "-2"])
+        assert exc.value.code == 2
+
+
 class TestCheckCorpus:
     def test_single_program_cold_then_warm(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
