@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 
 from repro import api
+from repro.driver.store import DEFAULT_STORE, STORE_BACKENDS
 from repro.eval.interp import Interpreter
 from repro.eval.values import from_pylist, render
 from repro.lang.errors import DMLError
@@ -267,6 +268,7 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
         backend=args.backend,
         executor=args.executor,
         cache_dir=None if args.no_cache else args.cache_dir,
+        store=args.store,
         clear=args.clear_cache,
         limits=_limits(args),
         slice_goals=not args.no_slice,
@@ -289,6 +291,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
+        store=args.store,
         caps=caps,
         slice_goals=not args.no_slice,
     )
@@ -402,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="persistent verdict cache directory (default: .repro-cache)")
     p_corpus.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default=DEFAULT_STORE,
+        help="persistent store backend: sqlite (WAL; concurrent "
+             "writers merge at row granularity) or json (single "
+             "file under an fcntl lock)")
+    p_corpus.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent cache entirely")
     p_corpus.add_argument(
@@ -441,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
                          help="persistent verdict cache directory "
                               "(default: .repro-cache)")
+    p_serve.add_argument("--store", choices=list(STORE_BACKENDS),
+                         default=DEFAULT_STORE,
+                         help="persistent store backend (sqlite: safe to "
+                              "share the cache directory with concurrent "
+                              "check-corpus runs; json: locked fallback)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="run without the persistent verdict cache")
     p_serve.add_argument("--no-slice", action="store_true",

@@ -4,18 +4,23 @@ Public surface::
 
     from repro import driver
 
-    outcome = driver.check_program(source, jobs=4, disk=driver.DiskCache())
+    outcome = driver.check_program(source, jobs=4, disk=driver.open_store())
     outcome.report.all_proved          # the usual CheckReport
     outcome.driver.utilization         # plus driver telemetry
 
     corpus = driver.check_corpus(jobs=4, cache_dir=".repro-cache")
     print(corpus.render())
 
-See :mod:`repro.driver.core` for the architecture and
-:mod:`repro.driver.hashing` for the incrementality/invalidation rules.
+The persistent verdict store is pluggable (``driver.open_store(dir,
+"sqlite"|"json")``): :class:`~repro.driver.store.SqliteVerdictStore`
+is the concurrent-writer-safe default, :class:`DiskCache` the JSON
+fallback.  See :mod:`repro.driver.core` for the architecture,
+:mod:`repro.driver.store` for the store interface and merge
+semantics, and :mod:`repro.driver.hashing` for the
+incrementality/invalidation rules.
 """
 
-from repro.driver.cache import DEFAULT_CACHE_DIR, DiskCache
+from repro.driver.cache import DiskCache
 from repro.driver.core import (
     CorpusReport,
     DriverReport,
@@ -25,10 +30,23 @@ from repro.driver.core import (
     check_program,
 )
 from repro.driver.hashing import decl_keys, prelude_hash
+from repro.driver.store import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_STORE,
+    STORE_BACKENDS,
+    SqliteVerdictStore,
+    VerdictStore,
+    open_store,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_STORE",
+    "STORE_BACKENDS",
     "DiskCache",
+    "SqliteVerdictStore",
+    "VerdictStore",
+    "open_store",
     "CorpusReport",
     "DriverReport",
     "DriverStats",

@@ -1,23 +1,25 @@
-"""The driver's persistent verdict cache (``.repro-cache/``).
+"""The JSON verdict-store backend (``.repro-cache/verdicts.json``).
 
-Two layers are persisted between processes, both keyed so that stale
-entries can never be *wrongly* reused — at worst they are ignored and
-the solve falls back to cold:
+:class:`DiskCache` is the no-sqlite fallback implementation of
+:class:`~repro.driver.store.VerdictStore` (see that module for the
+interface and the layer semantics).  The file is JSON
+(human-inspectable, no dependencies) and written atomically (temp
+file + ``os.replace``).  A corrupted, truncated, or
+schema-incompatible file is treated as absent: the driver logs
+nothing, solves cold, and overwrites it with fresh state on save.
 
-* **solver verdicts** — the in-memory :class:`SolverCache` contents
-  (backend name × canonical goal key → unsat verdict).  Canonical keys
-  are invariant under variable renaming, so these survive any edit
-  that leaves a goal's shape unchanged; a warm re-check of an edited
-  corpus answers almost every backend query from here.
-* **declaration records** — per-declaration goal verdicts keyed by the
-  prefix-chain content hash of :mod:`repro.driver.hashing`.  A hit
-  replays the declaration's ``(origin, proved, reason)`` triples
-  without issuing a single backend query.
-
-The file is JSON (human-inspectable, no dependencies) and written
-atomically (temp file + ``os.replace``).  A corrupted, truncated, or
-schema-incompatible file is treated as absent: the driver logs nothing,
-solves cold, and overwrites it with fresh state on save.
+Because the whole store is one blob, a naive save from two concurrent
+writers (a ``repro serve`` daemon and a ``repro check-corpus`` run
+sharing one cache directory, say) would be last-writer-wins: whoever
+saved second silently destroyed the first writer's fresh verdicts.
+:meth:`DiskCache.save` therefore runs a **load-merge-save** cycle
+under an exclusive ``fcntl`` file lock (``verdicts.json.lock``): it
+re-reads the published file, folds any entries a concurrent writer
+added since our load into our state (union; our entries win per key),
+and only then publishes.  Loading takes the same lock, so a reader
+never observes a mid-merge state.  On platforms without ``fcntl`` the
+lock degrades to a no-op and only same-process saves are serialized —
+the sqlite backend is the right choice there.
 
 Like the hashing layer, everything stored here is content-derived:
 canonical goal keys quotient by variable renaming and never mention
@@ -27,6 +29,7 @@ process is exactly as warm for the next.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -34,17 +37,33 @@ import threading
 from pathlib import Path
 
 from repro.driver.hashing import SCHEMA_VERSION
+from repro.driver.store import (
+    DEFAULT_CACHE_DIR,
+    GoalRecord,
+    VerdictStore,
+)
 from repro.solver.portfolio import SolverCache, decode_key, encode_key
 
-#: A replayable goal verdict: (origin, proved, reason).
-GoalRecord = tuple[str, bool, str]
+try:  # pragma: no cover - POSIX; degrades to no locking elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
-DEFAULT_CACHE_DIR = ".repro-cache"
+__all__ = [
+    "CACHE_FILENAME",
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "GoalRecord",
+]
+
 CACHE_FILENAME = "verdicts.json"
+LOCK_FILENAME = CACHE_FILENAME + ".lock"
 
 
-class DiskCache:
-    """On-disk verdict store shared by successive driver runs."""
+class DiskCache(VerdictStore):
+    """On-disk JSON verdict store shared by successive driver runs."""
+
+    kind = "json"
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
@@ -54,6 +73,11 @@ class DiskCache:
         self._solver: dict[str, dict[str, bool]] = {}
         #: decl content hash -> goal records
         self._decls: dict[str, list[GoalRecord]] = {}
+        # -- cross-run hit counts (persisted base + unflushed delta) ---
+        self._decl_hits_base: dict[str, int] = {}
+        self._decl_hit_delta: dict[str, int] = {}
+        self._solver_hits_base: dict[str, dict[str, int]] = {}
+        self._solver_hit_delta: dict[str, dict[str, int]] = {}
         # -- statistics ------------------------------------------------
         #: Entries successfully read from disk at load time.
         self.loaded_solver = 0
@@ -62,24 +86,71 @@ class DiskCache:
         self.corrupt = False
         self.decl_hits = 0
         self.decl_misses = 0
+        self.migrated_solver = 0
+        self.migrated_decls = 0
         self._load()
+
+    # -- file locking -----------------------------------------------------
+
+    @contextlib.contextmanager
+    def _file_lock(self):
+        """Exclusive advisory lock serializing load-merge-save cycles
+        across processes (no-op where ``fcntl`` is unavailable)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.root / LOCK_FILENAME, os.O_RDWR | os.O_CREAT, 0o666
+            )
+        except OSError:  # pragma: no cover - unwritable cache dir
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- loading ----------------------------------------------------------
 
-    def _load(self) -> None:
+    def _read_disk(
+        self,
+    ) -> tuple[
+        dict[str, dict[str, bool]],
+        dict[str, list[GoalRecord]],
+        dict[str, int],
+        dict[str, dict[str, int]],
+        bool,
+        bool,
+    ]:
+        """Parse the published file.
+
+        Returns ``(solver, decls, decl_hits, solver_hits, existed,
+        trusted)``; an unreadable or untrustworthy file yields empty
+        sections (never partial ones).
+        """
+        empty: tuple = ({}, {}, {}, {}, False, True)
         try:
             raw = self.path.read_text()
         except OSError:
-            return  # no cache yet: cold start
+            return empty  # no cache yet: cold start
+        solver: dict[str, dict[str, bool]] = {}
+        decls: dict[str, list[GoalRecord]] = {}
+        decl_hits: dict[str, int] = {}
+        solver_hits: dict[str, dict[str, int]] = {}
         try:
             data = json.loads(raw)
             if not isinstance(data, dict) or data.get("version") != SCHEMA_VERSION:
                 raise ValueError("unknown cache schema")
-            solver = data.get("solver", {})
-            decls = data.get("decls", {})
-            if not isinstance(solver, dict) or not isinstance(decls, dict):
+            raw_solver = data.get("solver", {})
+            raw_decls = data.get("decls", {})
+            if not isinstance(raw_solver, dict) or not isinstance(raw_decls, dict):
                 raise ValueError("malformed cache sections")
-            for backend, entries in solver.items():
+            for backend, entries in raw_solver.items():
                 if not (isinstance(backend, str) and isinstance(entries, dict)):
                     raise ValueError("malformed solver section")
                 kept = {}
@@ -88,9 +159,8 @@ class DiskCache:
                         raise ValueError("non-boolean verdict")
                     decode_key(text)  # raises ValueError when malformed
                     kept[text] = verdict
-                self._solver[backend] = kept
-                self.loaded_solver += len(kept)
-            for key, records in decls.items():
+                solver[backend] = kept
+            for key, records in raw_decls.items():
                 if not (isinstance(key, str) and isinstance(records, list)):
                     raise ValueError("malformed decl section")
                 parsed: list[GoalRecord] = []
@@ -104,14 +174,49 @@ class DiskCache:
                     ):
                         raise ValueError("malformed goal record")
                     parsed.append((record[0], record[1], record[2]))
-                self._decls[key] = parsed
-                self.loaded_decls += 1
+                decls[key] = parsed
+            # Hit-count sections are optional (absent in files written
+            # before they existed) but must be well-formed when present.
+            raw_decl_hits = data.get("decl_hits", {})
+            raw_solver_hits = data.get("solver_hits", {})
+            if not isinstance(raw_decl_hits, dict) or not isinstance(
+                raw_solver_hits, dict
+            ):
+                raise ValueError("malformed hit-count sections")
+            for key, count in raw_decl_hits.items():
+                if not (isinstance(key, str) and isinstance(count, int)):
+                    raise ValueError("malformed decl hit count")
+                decl_hits[key] = count
+            for backend, counts in raw_solver_hits.items():
+                if not (isinstance(backend, str) and isinstance(counts, dict)):
+                    raise ValueError("malformed solver hit section")
+                kept_counts = {}
+                for text, count in counts.items():
+                    if not isinstance(count, int):
+                        raise ValueError("malformed solver hit count")
+                    kept_counts[text] = count
+                solver_hits[backend] = kept_counts
         except (ValueError, TypeError, AttributeError):
             # Corrupted or stale: fall back to a cold solve.
-            self._solver.clear()
-            self._decls.clear()
-            self.loaded_solver = self.loaded_decls = 0
+            return {}, {}, {}, {}, True, False
+        return solver, decls, decl_hits, solver_hits, True, True
+
+    def _load(self) -> None:
+        with self._file_lock():
+            solver, decls, decl_hits, solver_hits, existed, trusted = (
+                self._read_disk()
+            )
+        if not existed:
+            return
+        if not trusted:
             self.corrupt = True
+            return
+        self._solver = solver
+        self._decls = decls
+        self._decl_hits_base = decl_hits
+        self._solver_hits_base = solver_hits
+        self.loaded_solver = sum(len(e) for e in solver.values())
+        self.loaded_decls = len(decls)
 
     # -- solver-verdict layer ---------------------------------------------
 
@@ -132,14 +237,20 @@ class DiskCache:
 
     def absorb(self, cache: SolverCache) -> int:
         """Fold an in-memory solver cache's verdicts into the store;
-        returns how many entries are new."""
+        returns how many entries are new.  Pre-existing entries the
+        cache answered at least one query from bump their cross-run
+        hit count."""
         added = 0
+        hit_keys = cache.hit_keys()
         with self._lock:
             for backend, key, verdict in cache.entries():
                 bucket = self._solver.setdefault(backend, {})
                 text = encode_key(key)
                 if text not in bucket:
                     added += 1
+                elif (backend, key) in hit_keys:
+                    delta = self._solver_hit_delta.setdefault(backend, {})
+                    delta[text] = delta.get(text, 0) + 1
                 bucket[text] = verdict
         return added
 
@@ -152,6 +263,7 @@ class DiskCache:
                 self.decl_misses += 1
                 return None
             self.decl_hits += 1
+            self._decl_hit_delta[key] = self._decl_hit_delta.get(key, 0) + 1
             return list(records)
 
     def decl_store(self, key: str, records: list[GoalRecord]) -> None:
@@ -164,20 +276,79 @@ class DiskCache:
         with self._lock:
             return {key: list(records) for key, records in self._decls.items()}
 
+    def decl_hit_counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = dict(self._decl_hits_base)
+            for key, delta in self._decl_hit_delta.items():
+                counts[key] = counts.get(key, 0) + delta
+        return counts
+
+    def export_state(
+        self,
+    ) -> tuple[
+        dict[str, dict[str, bool]],
+        dict[str, list[GoalRecord]],
+        dict[str, int],
+    ]:
+        """Full state snapshot for one-way migration into another
+        backend: ``(solver, decls, decl hit counts)``."""
+        with self._lock:
+            solver = {b: dict(e) for b, e in self._solver.items()}
+            decls = {k: list(r) for k, r in self._decls.items()}
+        return solver, decls, self.decl_hit_counts()
+
     # -- persistence --------------------------------------------------------
 
     def save(self) -> None:
-        """Atomically write the store to disk."""
-        with self._lock:
-            payload = {
-                "version": SCHEMA_VERSION,
-                "solver": {b: dict(e) for b, e in self._solver.items()},
-                "decls": {
-                    key: [list(record) for record in records]
-                    for key, records in self._decls.items()
-                },
-            }
+        """Load-merge-save under the file lock, then publish atomically.
+
+        Entries a concurrent writer published since our load are folded
+        into our state first (union; our entries win per key, hit
+        counts accumulate), so two processes saving into one directory
+        can only ever *add* verdicts — never destroy each other's.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        with self._file_lock():
+            disk_solver, disk_decls, disk_decl_hits, disk_solver_hits, _, _ = (
+                self._read_disk()
+            )
+            with self._lock:
+                # Union in any concurrent writer's entries; our own
+                # (fresher) entries win on key collisions.
+                for backend, entries in disk_solver.items():
+                    bucket = self._solver.setdefault(backend, {})
+                    for text, verdict in entries.items():
+                        bucket.setdefault(text, verdict)
+                for key, records in disk_decls.items():
+                    self._decls.setdefault(key, records)
+                # Hit counts: the published base (which includes other
+                # writers' flushes) plus our so-far-unflushed deltas.
+                for key, delta in self._decl_hit_delta.items():
+                    disk_decl_hits[key] = disk_decl_hits.get(key, 0) + delta
+                for backend, deltas in self._solver_hit_delta.items():
+                    counts = disk_solver_hits.setdefault(backend, {})
+                    for text, delta in deltas.items():
+                        counts[text] = counts.get(text, 0) + delta
+                self._decl_hits_base = disk_decl_hits
+                self._decl_hit_delta = {}
+                self._solver_hits_base = disk_solver_hits
+                self._solver_hit_delta = {}
+                payload = {
+                    "version": SCHEMA_VERSION,
+                    "solver": {b: dict(e) for b, e in self._solver.items()},
+                    "decls": {
+                        key: [list(record) for record in records]
+                        for key, records in self._decls.items()
+                    },
+                    "decl_hits": dict(self._decl_hits_base),
+                    "solver_hits": {
+                        b: dict(c) for b, c in self._solver_hits_base.items()
+                    },
+                }
+            self._publish(payload)
+
+    def _publish(self, payload: dict) -> None:
+        """Atomically write one payload to the published path."""
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=CACHE_FILENAME, suffix=".tmp"
         )
@@ -218,23 +389,30 @@ class DiskCache:
         keep reporting phantom warm-load counts (``loaded_solver``/
         ``loaded_decls``) or hits against entries that no longer
         exist."""
-        with self._lock:
-            self._solver.clear()
-            self._decls.clear()
-            self.loaded_solver = 0
-            self.loaded_decls = 0
-            self.corrupt = False
-            self.decl_hits = 0
-            self.decl_misses = 0
-        try:
-            self.path.unlink()
-        except OSError:
-            pass
+        with self._file_lock():
+            with self._lock:
+                self._solver.clear()
+                self._decls.clear()
+                self._decl_hits_base = {}
+                self._decl_hit_delta = {}
+                self._solver_hits_base = {}
+                self._solver_hit_delta = {}
+                self.loaded_solver = 0
+                self.loaded_decls = 0
+                self.corrupt = False
+                self.decl_hits = 0
+                self.decl_misses = 0
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
 
     @property
     def solver_entry_count(self) -> int:
-        return sum(len(entries) for entries in self._solver.values())
+        with self._lock:
+            return sum(len(entries) for entries in self._solver.values())
 
     @property
     def decl_entry_count(self) -> int:
-        return len(self._decls)
+        with self._lock:
+            return len(self._decls)

@@ -13,14 +13,23 @@ a batch service:
   verdicts are identical to ``api.check`` regardless of scheduling.
   :func:`check_corpus` additionally fans whole programs out, over a
   thread pool or (``executor="process"``) a process pool.
-* **Incremental re-checking** — a :class:`~repro.driver.cache.DiskCache`
-  persists both solver verdicts (canonical-key level) and whole
-  declaration verdict records (content-hash level, see
-  :mod:`repro.driver.hashing`) under ``.repro-cache/``.  A warm run of
-  an unchanged declaration replays its verdicts without a single
-  backend query; an edited declaration invalidates only itself and its
-  suffix, and usually still answers most backend queries from the
-  persisted solver layer.
+* **Incremental re-checking** — a pluggable
+  :class:`~repro.driver.store.VerdictStore` (sqlite-WAL by default,
+  locked JSON as the fallback; ``--store``) persists both solver
+  verdicts (canonical-key level) and whole declaration verdict records
+  (content-hash level, see :mod:`repro.driver.hashing`) under
+  ``.repro-cache/``.  A warm run of an unchanged declaration replays
+  its verdicts without a single backend query; an edited declaration
+  invalidates only itself and its suffix, and usually still answers
+  most backend queries from the persisted solver layer.  Both store
+  backends merge concurrent writers' entries instead of overwriting
+  them, so a daemon and a corpus run can share one cache directory.
+* **Cache-aware scheduling** — the store's cross-run declaration hit
+  counts order the parallel solve queue: goals from rarely-hit
+  (likely cold, likely expensive) declarations start first so they
+  never become the stragglers of a batch.  Results land in
+  declaration-order slots, so scheduling cannot influence verdict
+  order, let alone verdicts.
 * **Telemetry** — per-program wall clock, worker utilization, cache
   hit rates, and replay counts, aggregated corpus-wide by
   :class:`CorpusReport` (the ``repro check-corpus`` CLI prints it).
@@ -36,8 +45,13 @@ from dataclasses import dataclass, field
 
 from repro import api, programs
 from repro.api import CheckReport
-from repro.driver.cache import DiskCache, GoalRecord
 from repro.driver.hashing import decl_keys, prelude_hash
+from repro.driver.store import (
+    DEFAULT_STORE,
+    GoalRecord,
+    VerdictStore,
+    open_store,
+)
 from repro.indices.terms import EvarStore
 from repro.solver.backends import Backend
 from repro.solver.budget import SolverLimits
@@ -137,7 +151,7 @@ def check_program(
     backend: Backend | str = "fourier",
     jobs: int | None = 1,
     cache: SolverCache | None = None,
-    disk: DiskCache | None = None,
+    disk: VerdictStore | None = None,
     telemetry: SolverTelemetry | None = None,
     include_prelude: bool = True,
     seed: bool = True,
@@ -228,6 +242,9 @@ def check_program(
         snapshot = store.snapshot()
         for gi, goal in enumerate(goals):
             pending.append((di, gi, goal, snapshot))
+
+    if disk is not None and len(pending) > 1:
+        _schedule_rare_first(pending, decl_cache_keys, disk.decl_hit_counts())
 
     # -- parallel solve phase -------------------------------------------
     worker_state = threading.local()
@@ -332,6 +349,25 @@ def check_program(
         telemetry=telemetry,
     )
     return DriverReport(report=report, driver=stats)
+
+
+def _schedule_rare_first(
+    pending: list[tuple[int, int, Goal, EvarStore]],
+    decl_cache_keys: list[str | None],
+    hit_counts: dict[str, int],
+) -> None:
+    """Cache-aware solve ordering: goals from declarations with low
+    cross-run hit counts (never replayed — likely cold, likely the
+    expensive ones) go to the workers first, so the slowest solves
+    start earliest instead of straggling at the batch's tail.  The
+    sort is stable and results land in ``slots[di][gi]``, so verdict
+    *order* (and a fortiori verdicts) cannot change."""
+
+    def rarity(task: tuple[int, int, Goal, EvarStore]) -> int:
+        key = decl_cache_keys[task[0]]
+        return hit_counts.get(key, 0) if key is not None else 0
+
+    pending.sort(key=rarity)
 
 
 def _replayable(records: list[GoalRecord], goals: list[Goal]) -> bool:
@@ -447,6 +483,8 @@ class CorpusReport:
     preloaded: int = 0
     solver_entries: int = 0
     corrupt_cache: bool = False
+    #: Persistent store backend in use ("sqlite" / "json" / "none").
+    store: str = "none"
 
     @property
     def all_ok(self) -> bool:
@@ -539,7 +577,7 @@ class CorpusReport:
             f"solver cache:     {self.cache_hits}/{self.queries} queries "
             f"answered from cache ({self.hit_rate:.0%}), "
             f"{self.preloaded} verdict(s) preloaded from disk, "
-            f"{self.solver_entries} persisted",
+            f"{self.solver_entries} persisted (store: {self.store})",
             f"decl cache:       {self.decl_hits} hit(s) / "
             f"{self.decl_misses} miss(es), "
             f"{self.goals_replayed}/{self.goals} goal(s) replayed",
@@ -566,7 +604,7 @@ class CorpusReport:
 
 
 def _check_one_process(
-    args: tuple[str, str, str | None, int | None, float | None, bool],
+    args: tuple[str, str, str | None, str, int | None, float | None, bool],
 ) -> tuple[ProgramResult, list[tuple[str, str, bool]], dict[str, list[GoalRecord]]]:
     """Process-pool worker: check one bundled program in isolation.
 
@@ -581,30 +619,34 @@ def _check_one_process(
     each worker builds its own :class:`SliceContext` inside
     :func:`check_program`.
     """
-    name, backend, cache_dir, max_steps, goal_timeout, slice_goals = args
+    name, backend, cache_dir, store, max_steps, goal_timeout, slice_goals = args
     limits = (
         SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
         if (max_steps is not None or goal_timeout is not None)
         else None
     )
-    disk = DiskCache(cache_dir) if cache_dir is not None else None
+    disk = open_store(cache_dir, store) if cache_dir is not None else None
     cache = SolverCache(maxsize=65536)
-    outcome = check_program(
-        programs.load_source(name),
-        f"{name}.dml",
-        backend=backend,
-        jobs=1,
-        cache=cache,
-        disk=disk,
-        persist=False,
-        limits=limits,
-        slice_goals=slice_goals,
-    )
-    exported = [
-        (backend_name, encode_key(key), verdict)
-        for backend_name, key, verdict in cache.entries()
-    ]
-    records = disk.decl_entries() if disk is not None else {}
+    try:
+        outcome = check_program(
+            programs.load_source(name),
+            f"{name}.dml",
+            backend=backend,
+            jobs=1,
+            cache=cache,
+            disk=disk,
+            persist=False,
+            limits=limits,
+            slice_goals=slice_goals,
+        )
+        exported = [
+            (backend_name, encode_key(key), verdict)
+            for backend_name, key, verdict in cache.entries()
+        ]
+        records = disk.decl_entries() if disk is not None else {}
+    finally:
+        if disk is not None:
+            disk.close()
     return _program_result(name, outcome), exported, records
 
 
@@ -615,6 +657,7 @@ def check_corpus(
     backend: str = "fourier",
     executor: str = "thread",
     cache_dir: str | None = None,
+    store: str = DEFAULT_STORE,
     clear: bool = False,
     limits: SolverLimits | None = None,
     slice_goals: bool = True,
@@ -626,14 +669,16 @@ def check_corpus(
     same run); ``executor="process"`` sidesteps the GIL for CPU-bound
     corpora — workers share only the persisted cache, and their fresh
     verdicts are merged and saved by the parent.  ``cache_dir`` enables
-    the persistent layers (``None`` disables them); ``clear`` wipes the
+    the persistent layers (``None`` disables them) and ``store``
+    selects the backend (``"sqlite"`` row-merge WAL store by default,
+    ``"json"`` the locked single-file fallback); ``clear`` wipes the
     persisted state first (a guaranteed-cold run).
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}")
     names = names if names is not None else programs.available()
     jobs = _effective_jobs(jobs)
-    disk = DiskCache(cache_dir) if cache_dir is not None else None
+    disk = open_store(cache_dir, store) if cache_dir is not None else None
     if disk is not None and clear:
         disk.clear()
     started = time.perf_counter()
@@ -642,7 +687,7 @@ def check_corpus(
     if executor == "process" and jobs > 1:
         tasks = [
             (
-                name, backend, cache_dir,
+                name, backend, cache_dir, store,
                 limits.max_steps if limits is not None else None,
                 limits.goal_timeout if limits is not None else None,
                 slice_goals,
@@ -691,10 +736,12 @@ def check_corpus(
         if disk is not None:
             disk.absorb(shared)
 
-    solver_entries = disk.solver_entry_count if disk is not None else 0
     corrupt = disk.corrupt if disk is not None else False
     if disk is not None:
         disk.save()
+    solver_entries = disk.solver_entry_count if disk is not None else 0
+    if disk is not None:
+        disk.close()
     return CorpusReport(
         rows=rows,
         jobs=jobs,
@@ -704,4 +751,5 @@ def check_corpus(
         preloaded=preloaded,
         solver_entries=solver_entries,
         corrupt_cache=corrupt,
+        store=disk.kind if disk is not None else "none",
     )

@@ -12,10 +12,14 @@ What stays warm across requests (and why each piece is safe to share):
   (:mod:`repro.indices.intern`); sharing is its whole point.
 * **the solver-verdict cache** — one locked
   :class:`~repro.solver.portfolio.SolverCache`, seeded from the
-  persistent :class:`~repro.driver.cache.DiskCache` at startup and
-  absorbed back periodically.  Canonical keys quotient by variable
-  renaming, so verdicts cached by one request answer structurally
-  identical queries from any other.
+  persistent :class:`~repro.driver.store.VerdictStore` at startup and
+  absorbed back periodically (behind a dedicated persist lock, so two
+  worker threads crossing the persist boundary never run concurrent
+  absorb+save cycles).  Canonical keys quotient by variable renaming,
+  so verdicts cached by one request answer structurally identical
+  queries from any other; the sqlite store's row-merge writes mean a
+  daemon can safely share its cache directory with concurrent
+  ``repro check-corpus`` runs.
 * **the slice context** — one locked
   :class:`~repro.solver.slice.SliceContext`: refuted cores and
   presolved hypothesis prefixes are monotone, verdict-preserving
@@ -38,7 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro import api
-from repro.driver.cache import DEFAULT_CACHE_DIR, DiskCache
+from repro.driver.store import DEFAULT_CACHE_DIR, DEFAULT_STORE, open_store
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     CheckRequest,
@@ -63,6 +67,9 @@ class ServerConfig:
     jobs: int | None = None
     #: Persistent verdict cache directory (``None`` disables it).
     cache_dir: str | None = DEFAULT_CACHE_DIR
+    #: Persistent store backend ("sqlite" row-merge WAL store, or
+    #: "json" for the locked single-file fallback).
+    store: str = DEFAULT_STORE
     #: Server-side admission caps; client-requested budgets are
     #: clamped against these (``None`` components = uncapped).
     caps: SolverLimits = field(default_factory=lambda: DEFAULT_LIMITS)
@@ -88,7 +95,7 @@ class CheckService:
         # should already be warm.
         api._prelude_inferencer()
         self.disk = (
-            DiskCache(self.config.cache_dir)
+            open_store(self.config.cache_dir, self.config.store)
             if self.config.cache_dir is not None
             else None
         )
@@ -106,11 +113,19 @@ class CheckService:
             thread_name_prefix="repro-serve",
         )
         self._lock = threading.Lock()
+        #: Serializes absorb+save cycles against the persistent store.
+        #: Distinct from ``_lock`` (the counter lock): persistence does
+        #: disk I/O and must never be held while counters are updated,
+        #: nor run concurrently with itself — two worker threads
+        #: crossing the persist boundary together used to both run
+        #: full absorb+save cycles at once.
+        self._persist_lock = threading.Lock()
         self._started = time.monotonic()
         self._unsaved = 0
         # -- request counters (under self._lock) -----------------------
         self.checks = 0
         self.batches = 0
+        self.batch_items = 0
         self.rejected = 0
         self.check_errors = 0
         self.busy_seconds = 0.0
@@ -154,6 +169,7 @@ class CheckService:
     def count_batch(self, size: int) -> None:
         with self._lock:
             self.batches += 1
+            self.batch_items += size
 
     def count_rejected(self) -> None:
         with self._lock:
@@ -170,13 +186,22 @@ class CheckService:
             if due:
                 self._unsaved = 0
         if due:
-            self.disk.absorb(self.cache)
-            self.disk.save()
+            # The persist lock serializes the absorb+save cycle: the
+            # due-decision above runs under the counter lock, but two
+            # worker threads could both see `due` across a batch
+            # boundary and previously ran full concurrent cycles
+            # (wasted work at best; interleaved whole-file writes for
+            # the JSON backend at worst).
+            with self._persist_lock:
+                self.disk.absorb(self.cache)
+                self.disk.save()
 
     def close(self) -> None:
         """Flush the persistent cache and stop the worker pool."""
         self.pool.shutdown(wait=True)
         self._persist(final=True)
+        if self.disk is not None:
+            self.disk.close()
 
     # -- telemetry ---------------------------------------------------------
 
@@ -187,8 +212,10 @@ class CheckService:
             telemetry = SolverTelemetry()
             telemetry.merge(self.telemetry)
             checks, batches = self.checks, self.batches
+            batch_items = self.batch_items
             rejected, errors = self.rejected, self.check_errors
             busy = self.busy_seconds
+        store = self.disk.stats() if self.disk is not None else None
         return {
             "version": PROTOCOL_VERSION,
             "backend": self.config.backend,
@@ -196,6 +223,7 @@ class CheckService:
             "uptime_seconds": time.monotonic() - self._started,
             "checks": checks,
             "batches": batches,
+            "batch_items": batch_items,
             "rejected": rejected,
             "check_errors": errors,
             "busy_seconds": busy,
@@ -229,11 +257,12 @@ class CheckService:
                 "preloaded": self.preloaded,
                 "persistent": self.disk is not None,
                 "persisted_solver_entries": (
-                    self.disk.solver_entry_count if self.disk else 0
+                    store["solver_entries"] if store else 0
                 ),
                 "persisted_decl_entries": (
-                    self.disk.decl_entry_count if self.disk else 0
+                    store["decl_entries"] if store else 0
                 ),
-                "corrupt": self.disk.corrupt if self.disk else False,
+                "corrupt": store["corrupt"] if store else False,
             },
+            "store": store,
         }

@@ -54,7 +54,13 @@ class TestRoundTrip:
         disk = DiskCache(tmp_path)
         disk.decl_store("k", [("sub#1", True, "")])
         disk.save()
-        assert sorted(os.listdir(tmp_path)) == [CACHE_FILENAME]
+        # The advisory lockfile is a deliberate, stable artifact; what
+        # must never survive a save is a mkstemp *.tmp leftover.
+        published = [
+            name for name in os.listdir(tmp_path)
+            if not name.endswith(".lock")
+        ]
+        assert sorted(published) == [CACHE_FILENAME]
 
     def test_clear_removes_the_file(self, tmp_path):
         disk = DiskCache(tmp_path)

@@ -50,7 +50,7 @@ class TestParity:
             r.verdicts for r in threaded.rows
         ]
         # The parent merged and persisted the workers' verdicts.
-        assert DiskCache(tmp_path).loaded_solver > 0
+        assert driver.open_store(tmp_path).loaded_solver > 0
 
 
 class TestIncrementality:

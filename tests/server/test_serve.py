@@ -196,6 +196,23 @@ class TestEndpoints:
         assert after["uptime_seconds"] > 0
         assert after["slicing"]["enabled"] is True
 
+    def test_stats_counts_batch_items(self, client):
+        before = client.stats()
+        client.check_batch(
+            [
+                ServeClient.request_payload(GOOD, "a.dml"),
+                ServeClient.request_payload(GOOD, "b.dml"),
+            ]
+        )
+        after = client.stats()
+        assert after["batches"] == before["batches"] + 1
+        # The per-item count, not just the batch count: a 2-item batch
+        # advances batch_items by exactly 2.
+        assert after["batch_items"] == before["batch_items"] + 2
+
+    def test_cacheless_daemon_reports_no_store(self, client):
+        assert client.stats()["store"] is None
+
     def test_no_slice_request_verdicts_identical(self, client):
         sliced = client.check(GOOD, "s.dml")
         plain = client.check(GOOD, "s.dml", slice_goals=False)
@@ -319,7 +336,27 @@ class TestPersistence:
         try:
             stats = ServeClient(second.port).stats()
             assert stats["cache"]["preloaded"] > 0
+            assert stats["store"]["backend"] == "sqlite"
+            assert stats["store"]["solver_entries"] > 0
             again = ServeClient(second.port).check(GOOD, "persist.dml")
             assert again["verdicts"] == answer["verdicts"]
+        finally:
+            second.stop()
+
+    def test_json_store_daemon_round_trips(self, tmp_path):
+        config = ServerConfig(
+            cache_dir=str(tmp_path / "serve-json"), store="json"
+        )
+        first = ServeDaemon(CheckService(config), port=0).start_in_thread()
+        try:
+            assert ServeClient(first.port).check(GOOD, "p.dml")["ok"] is True
+        finally:
+            first.stop()
+
+        second = ServeDaemon(CheckService(config), port=0).start_in_thread()
+        try:
+            stats = ServeClient(second.port).stats()
+            assert stats["store"]["backend"] == "json"
+            assert stats["cache"]["preloaded"] > 0
         finally:
             second.stop()
