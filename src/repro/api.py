@@ -412,3 +412,69 @@ def check_corpus(
         limits=limits,
         slice_goals=slice_goals,
     )
+
+
+@dataclass
+class CompileResult:
+    """Everything one end-to-end ``compile`` produced: the static
+    report, the (dialect-gated) elimination plan, and the loadable
+    generated module."""
+
+    report: CheckReport
+    plan: "object"  # EliminationPlan (typed loosely: elim imports api)
+    module: "object"  # GeneratedModule
+    dialect: str
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.plan.unchecked)}/{len(self.report.sites)} "
+            f"checks eliminated (dialect {self.dialect})"
+        )
+
+
+def compile(  # noqa: A001 - mirrors the CLI verb
+    source: str,
+    name: str = "<input>",
+    dialect: str = "plain",
+    backend: Backend | str = "fourier",
+    include_prelude: bool = True,
+    cache: SolverCache | bool | None = None,
+    telemetry: SolverTelemetry | None = None,
+    limits: SolverLimits | None = None,
+    slice_goals: bool = True,
+    instrument: bool = False,
+) -> CompileResult:
+    """Check ``source``, plan elimination for ``dialect``, and compile
+    to a loadable Python module — the full static-to-runtime pipeline
+    behind ``repro compile`` and ``repro compile-and-run``.
+
+    The elimination plan is issued for the requested dialect (a
+    dialect may keep extra checks but can never eliminate a site the
+    plan kept), and the generated module carries the dialect so
+    :meth:`GeneratedModule.run` can adapt Python-native arguments into
+    its value representation.
+    """
+    # Local imports: elim imports this module at top level.
+    from repro.compile.elim import plan_elimination
+    from repro.compile.pycodegen import compile_program
+
+    report = check(
+        source,
+        name,
+        backend,
+        include_prelude,
+        cache=cache,
+        telemetry=telemetry,
+        limits=limits,
+        slice_goals=slice_goals,
+    )
+    plan = plan_elimination(report, dialect)
+    module = compile_program(
+        report.program,
+        report.env,
+        plan.unchecked,
+        name=name,
+        instrument=instrument,
+        dialect=dialect,
+    )
+    return CompileResult(report, plan, module, plan.dialect)

@@ -209,17 +209,19 @@ def _time_call(fn: Callable[[], Any], repeats: int) -> float:
 
 
 def _compiled_runner(
-    workload: Workload, unchecked: set[str], preset: str, instrument: bool = False
+    workload: Workload, unchecked: set[str], preset: str,
+    instrument: bool = False, dialect: str = "plain",
 ) -> Callable[[], Any]:
     report = api.check_corpus(workload.program)
     module = compile_program(
         report.program, report.env, unchecked, workload.program,
-        instrument=instrument,
+        instrument=instrument, dialect=dialect,
     )
     module.load()
 
     def run() -> Any:
         args = workload.args_for(preset, "compiled")
+        args = module.dialect.adapt_args(args)
         return module.call(workload.entry, *args)
 
     return run
@@ -243,13 +245,17 @@ def table23(
     preset: str = "default",
     engine: str = "compiled",
     repeats: int = 3,
+    dialect: str = "plain",
 ) -> list[Table23Row]:
     """Measure run time with and without eliminated checks.
 
     ``engine="compiled"`` (Table 2 analogue) times generated Python;
     ``engine="interp"`` (Table 3 analogue) times the tree-walking
-    interpreter — use a smaller preset there.
+    interpreter — use a smaller preset there.  ``dialect`` selects the
+    generated code's value representation (compiled engine only).
     """
+    from repro.compile.dialects import get_dialect
+
     rows = []
     for display in names or TABLE_ORDER:
         workload = WORKLOADS[display]
@@ -259,16 +265,18 @@ def table23(
         unchecked = report.eliminable_sites()
 
         if engine == "compiled":
-            checked_run = _compiled_runner(workload, set(), preset)
-            unchecked_run = _compiled_runner(workload, unchecked, preset)
+            checked_run = _compiled_runner(workload, set(), preset,
+                                           dialect=dialect)
+            unchecked_run = _compiled_runner(workload, unchecked, preset,
+                                             dialect=dialect)
             with_t = _time_call(checked_run, repeats)
             without_t = _time_call(unchecked_run, repeats)
             # Exact dynamic count from one instrumented run.
             counter_run = _compiled_runner(
-                workload, unchecked, preset, instrument=True
+                workload, unchecked, preset, instrument=True, dialect=dialect
             )
             support.COUNTERS.reset()
-            result = counter_run()
+            result = get_dialect(dialect).extract_value(counter_run())
             assert workload.validate(result, workload.params(preset))
             eliminated = support.COUNTERS.eliminated
         else:

@@ -27,11 +27,14 @@ The ``repro`` entry point is an alias for ``dml``.
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from pathlib import Path
+from typing import Any, Callable
 
 from repro import api
-from repro.driver.store import DEFAULT_STORE, STORE_BACKENDS
+from repro.compile.dialects import dialect_names
+from repro.driver.store import DEFAULT_CACHE_DIR, DEFAULT_STORE, STORE_BACKENDS
 from repro.eval.interp import Interpreter
 from repro.eval.values import from_pylist, render
 from repro.lang.errors import DMLError
@@ -131,27 +134,192 @@ def cmd_goals(args: argparse.Namespace) -> int:
     return 0 if report.all_proved else 1
 
 
-def cmd_compile(args: argparse.Namespace) -> int:
-    from repro.compile.pycodegen import compile_program
+def _open_compile_cache(args: argparse.Namespace):
+    """(cache, disk_store) for ``repro compile``/``compile-and-run``.
 
-    report = api.check(_read(args.file), args.file, backend=args.backend,
-                       cache=args.cache, limits=_limits(args),
-                       slice_goals=not args.no_slice)
-    unchecked = report.eliminable_sites()
-    module = compile_program(
-        report.program, report.env, unchecked, Path(args.file).stem
+    The persistent verdict store (PR 7's ``--store``) activates when
+    ``--store`` or ``--cache-dir`` is given: the solver cache is seeded
+    from it before checking and absorbed back after, so a daemon- or
+    corpus-populated sqlite store warms compile runs too.  Without
+    either flag the legacy in-memory ``--cache`` semantics apply and
+    ``disk_store`` is ``None``.
+    """
+    store = getattr(args, "store", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if store is None and cache_dir is None:
+        return args.cache, None
+    from repro.driver.store import open_store
+    from repro.solver.portfolio import SolverCache
+
+    disk = open_store(cache_dir or DEFAULT_CACHE_DIR, store or DEFAULT_STORE)
+    cache = SolverCache(maxsize=65536)
+    disk.seed(cache)
+    return cache, disk
+
+
+def _persist_compile_cache(cache, disk) -> None:
+    if disk is not None:
+        disk.absorb(cache)
+        disk.save()
+
+
+def _compile_source(args: argparse.Namespace, source: str, name: str):
+    """Shared check+plan+codegen step with store round-trip."""
+    cache, disk = _open_compile_cache(args)
+    result = api.compile(
+        source, name,
+        dialect=getattr(args, "dialect", "plain"),
+        backend=args.backend,
+        cache=cache,
+        limits=_limits(args),
+        slice_goals=not args.no_slice,
     )
+    _persist_compile_cache(cache, disk)
+    # The eliminated-checks summary goes to stderr in every output
+    # mode, so piping the generated source (or timing table) leaves
+    # the summary visible.
+    print(result.summary(), file=sys.stderr)
+    return result
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    result = _compile_source(args, _read(args.file), args.file)
     if args.output:
-        Path(args.output).write_text(module.source)
-        print(f"wrote {args.output} "
-              f"({len(unchecked)}/{len(report.sites)} checks eliminated)")
+        Path(args.output).write_text(result.module.source)
+        print(f"wrote {args.output}")
     else:
-        print(module.source)
+        print(result.module.source)
     return 0
 
 
-def _parse_value(text: str):
-    """Parse a command-line argument literal into a runtime value."""
+def cmd_compile_and_run(args: argparse.Namespace) -> int:
+    """Check, compile for a dialect, execute, and report timings.
+
+    FILE is a path to a DML source file or the name of a bundled
+    corpus program.  When the program is a registered benchmark
+    workload and no explicit arguments are given, seeded workload
+    inputs are built at ``--scale``/``--preset`` size; otherwise
+    ``--entry`` plus argument literals drive the call directly.
+    """
+    import time as _time
+
+    from repro import programs
+    from repro.bench import workloads as wl
+    from repro.compile import support
+    from repro.compile.dialects import DialectError, get_dialect
+    from repro.compile.pycodegen import compile_program
+
+    path = Path(args.file)
+    if path.exists():
+        source, prog_name, display = path.read_text(), path.stem, args.file
+    elif args.file in programs.available():
+        source = programs.load_source(args.file)
+        prog_name, display = args.file, f"{args.file}.dml"
+    else:
+        print(f"error: {args.file!r} is neither a file nor a corpus "
+              f"program (available: {', '.join(programs.available())})",
+              file=sys.stderr)
+        return 2
+
+    try:
+        dialect = get_dialect(args.dialect)
+    except DialectError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = _compile_source(args, source, display)
+    report, plan, module = result.report, result.plan, result.module
+
+    workload = next(
+        (w for w in wl.WORKLOADS.values() if w.program == prog_name), None
+    )
+    entry = args.entry or (workload.entry if workload else None)
+    if entry is None:
+        print("error: no --entry given and FILE is not a registered "
+              "benchmark workload", file=sys.stderr)
+        return 2
+
+    if args.args:
+        params = None
+
+        def build_args() -> tuple:
+            # Re-parse per run: the sorts mutate their inputs.
+            return dialect.adapt_args(
+                tuple(_parse_value(a, support.from_pylist)
+                      for a in args.args)
+            )
+    elif workload is not None:
+        if args.scale is not None:
+            params = workload.scaled(args.scale)
+        else:
+            params = workload.params(args.preset)
+
+        def build_args() -> tuple:
+            rng = random.Random(wl.SEED)
+            raw = workload.build_with(params, support.from_pylist, rng)
+            return dialect.adapt_args(raw)
+    else:
+        print(f"error: entry {entry!r} needs argument literals (FILE is "
+              f"not a registered workload, so none can be generated)",
+              file=sys.stderr)
+        return 2
+
+    def timed(sites: set) -> tuple[float, object]:
+        mod = compile_program(report.program, report.env, sites,
+                              prog_name, dialect=dialect)
+        mod.load()
+        best, last = float("inf"), None
+        for _ in range(max(1, args.repeat)):
+            call_args = build_args()
+            started = _time.perf_counter()
+            last = mod.call(entry, *call_args)
+            best = min(best, _time.perf_counter() - started)
+        return best, last
+
+    size_note = (
+        f"scale {args.scale}" if args.scale is not None
+        else (f"preset {args.preset}" if params is not None else "explicit args")
+    )
+    print(f"compile-and-run {prog_name} (dialect {dialect.name}, "
+          f"entry {entry}, {size_note})")
+
+    unchecked_t, raw_result = timed(plan.unchecked)
+    extracted = dialect.extract_value(raw_result)
+    ok = workload.validate(extracted, params) if workload and params else True
+    kept = len(plan.sites) - len(plan.unchecked)
+    print(f"  unchecked : {unchecked_t:.3f} s  "
+          f"({len(plan.unchecked)} site(s) unchecked, {kept} kept)")
+    if not args.no_baseline:
+        checked_t, _ = timed(set())
+        gain = ((checked_t - unchecked_t) / checked_t * 100.0
+                if checked_t > 0 else 0.0)
+        print(f"  checked   : {checked_t:.3f} s  (every check kept)")
+        print(f"  gain      : {gain:.1f}%")
+    if args.counts:
+        counter_mod = compile_program(
+            report.program, report.env, plan.unchecked, prog_name,
+            instrument=True, dialect=dialect,
+        )
+        support.COUNTERS.reset()
+        counter_mod.call(entry, *build_args())
+        print(f"  counts    : {support.COUNTERS.performed:,} performed, "
+              f"{support.COUNTERS.eliminated:,} eliminated")
+    if workload and params:
+        print(f"  result    : {'ok' if ok else 'MISMATCH'}")
+    else:
+        text = repr(extracted)
+        if len(text) > 70:
+            text = text[:67] + "..."
+        print(f"  result    : {text}")
+    return 0 if ok else 1
+
+
+def _parse_value(text: str, mklist: Callable[[list], Any] = from_pylist):
+    """Parse a command-line argument literal into a runtime value.
+
+    ``mklist`` builds DML list values — the interpreter and the
+    compiled backends represent cons cells differently.
+    """
     text = text.strip()
     if text == "true":
         return True
@@ -161,14 +329,16 @@ def _parse_value(text: str):
         return ()
     if text.startswith("[|") and text.endswith("|]"):
         inner = text[2:-2].strip()
-        return [_parse_value(t) for t in _split_commas(inner)] if inner else []
+        return ([_parse_value(t, mklist) for t in _split_commas(inner)]
+                if inner else [])
     if text.startswith("[") and text.endswith("]"):
         inner = text[1:-1].strip()
-        items = [_parse_value(t) for t in _split_commas(inner)] if inner else []
-        return from_pylist(items)
+        items = ([_parse_value(t, mklist) for t in _split_commas(inner)]
+                 if inner else [])
+        return mklist(items)
     if text.startswith("(") and text.endswith(")"):
         inner = text[1:-1].strip()
-        return tuple(_parse_value(t) for t in _split_commas(inner))
+        return tuple(_parse_value(t, mklist) for t in _split_commas(inner))
     return int(text)
 
 
@@ -238,7 +408,7 @@ def cmd_certify(args: argparse.Namespace) -> int:
         for line in report.explain():
             print(f"  {line}", file=sys.stderr)
         return 1
-    certificate = issue_certificate(report)
+    certificate = issue_certificate(report, dialect=args.dialect)
     kept = len(report.sites) - len(report.eliminable_sites())
     if kept:
         print(f"note: {kept} site(s) keep their run-time checks "
@@ -311,6 +481,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.bench.workloads import PRESETS
+
     parser = argparse.ArgumentParser(
         prog="dml",
         description="DML-lite: dependent types for array bound check "
@@ -349,6 +521,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "like --budget; 0 = no deadline, negatives "
                             "are a usage error)")
 
+    def dialect_flag(p):
+        p.add_argument("--dialect", default="plain",
+                       choices=dialect_names(),
+                       help="generated-code value representation: plain "
+                            "(Python lists), packed (array('q') int64 "
+                            "buffers), numpy (optional).  A site the "
+                            "solver could not prove checks in every "
+                            "dialect.")
+
+    def store_flags(p):
+        p.add_argument("--store", choices=list(STORE_BACKENDS), default=None,
+                       help="persistent verdict store backend: giving "
+                            "--store or --cache-dir seeds the solver "
+                            "cache from the shared store (daemon/corpus "
+                            "runs warm compiles) and writes new verdicts "
+                            f"back (default backend: {DEFAULT_STORE})")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent verdict cache directory (implies "
+                            f"--store; default: {DEFAULT_CACHE_DIR})")
+
     p_check = sub.add_parser("check", help="type-check a program")
     common(p_check)
     p_check.set_defaults(fn=cmd_check)
@@ -360,7 +552,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="emit generated Python")
     common(p_compile)
     p_compile.add_argument("-o", "--output", help="output file")
+    dialect_flag(p_compile)
+    store_flags(p_compile)
     p_compile.set_defaults(fn=cmd_compile)
+
+    p_car = sub.add_parser(
+        "compile-and-run",
+        help="check, compile for a dialect, execute, and print a "
+             "timing + eliminated-check report",
+    )
+    common(p_car)
+    p_car.add_argument("args", nargs="*",
+                       help="argument literals for --entry (omit for a "
+                            "registered workload to use seeded inputs)")
+    dialect_flag(p_car)
+    store_flags(p_car)
+    p_car.add_argument("--entry", default=None, metavar="FN",
+                       help="function to call (default: the workload "
+                            "entry when FILE is a benchmark program)")
+    p_car.add_argument("--scale", type=int, default=None, metavar="N",
+                       help="size workload inputs by a single element "
+                            "count (super-linear workloads derive a "
+                            "size with ~N total operations)")
+    p_car.add_argument("--preset", choices=list(PRESETS),
+                       default="default",
+                       help="named workload size (ignored with --scale)")
+    p_car.add_argument("--repeat", type=int, default=3, metavar="R",
+                       help="timing repeats; best-of-R is reported "
+                            "(default: 3)")
+    p_car.add_argument("--no-baseline", action="store_true",
+                       help="skip the all-checks-kept baseline run")
+    p_car.add_argument("--counts", action="store_true",
+                       help="add an instrumented run reporting exact "
+                            "dynamic check counts")
+    p_car.set_defaults(fn=cmd_compile_and_run)
 
     p_run = sub.add_parser("run", help="interpret a program")
     common(p_run)
@@ -382,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert.add_argument("--verifier", default="omega",
                         choices=backend_names(),
                         help="independent backend for re-verification")
+    dialect_flag(p_cert)
     p_cert.set_defaults(fn=cmd_certify)
 
     p_corpus = sub.add_parser(

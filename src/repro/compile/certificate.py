@@ -57,6 +57,9 @@ class SafetyCertificate:
     #: Obligations not tied to a site (annotation consistency etc.);
     #: site proofs assume the annotated invariants these establish.
     structural: list[Obligation] = field(default_factory=list)
+    #: Value-representation dialect the certified compilation targets;
+    #: ``sites`` covers exactly the plan issued for that dialect.
+    dialect: str = "plain"
 
     @property
     def obligation_count(self) -> int:
@@ -65,7 +68,8 @@ class SafetyCertificate:
         )
 
     def render(self) -> str:
-        lines = [f"safety certificate for {self.program_name}",
+        lines = [f"safety certificate for {self.program_name} "
+                 f"(dialect {self.dialect})",
                  f"  {len(self.sites)} eliminated site(s), "
                  f"{self.obligation_count} obligation(s)"]
         for site_id, (op, obligations) in sorted(self.sites.items()):
@@ -79,7 +83,9 @@ class SafetyCertificate:
         return "\n".join(lines)
 
 
-def issue_certificate(report: CheckReport) -> SafetyCertificate:
+def issue_certificate(
+    report: CheckReport, dialect: str = "plain"
+) -> SafetyCertificate:
     """Produce a certificate covering exactly the eliminated checks.
 
     The certificate mirrors the per-site elimination policy
@@ -90,6 +96,10 @@ def issue_certificate(report: CheckReport) -> SafetyCertificate:
     obligations — are simply absent: their safety is enforced
     dynamically, so there is nothing to certify (and nothing a
     consumer's re-validation could fail on).
+
+    The certificate records the *dialect* the compilation targets and
+    covers the plan issued for it: if the dialect's per-site gate keeps
+    an otherwise-eliminable site, that site is absent here too.
 
     Raises :class:`ValueError` only when a *structural* goal is
     unproved — then no elimination is justified and no certificate can
@@ -112,11 +122,13 @@ def issue_certificate(report: CheckReport) -> SafetyCertificate:
             location=report.source.describe(goal.span),
         )
 
-    eliminated = report.eliminable_sites()
+    from repro.compile.elim import plan_elimination
+
+    plan = plan_elimination(report, dialect)
     sites: dict[str, tuple[str, list[Obligation]]] = {
         site_id: (info.op, [])
         for site_id, info in report.sites.items()
-        if site_id in eliminated
+        if site_id in plan.unchecked
     }
     structural: list[Obligation] = []
     for result in report.goal_results:
@@ -126,7 +138,7 @@ def issue_certificate(report: CheckReport) -> SafetyCertificate:
         elif not origin:
             structural.append(freeze(result.goal))
         # Kept-site and guard: obligations are enforced at run time.
-    return SafetyCertificate(report.name, sites, structural)
+    return SafetyCertificate(report.name, sites, structural, plan.dialect)
 
 
 @dataclass

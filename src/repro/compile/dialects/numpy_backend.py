@@ -1,0 +1,125 @@
+"""The ``numpy`` dialect: optional ``int64`` ndarray storage.
+
+Registered unconditionally but *available* only when numpy imports;
+``get_dialect("numpy")`` raises :class:`DialectError` with the import
+failure otherwise, and nothing in the core ever imports numpy — the
+import is attempted lazily on first availability probe, so plain and
+packed compiles never pay numpy's import cost.
+
+Int-valued arrays become ``np.int64`` ndarrays: construction via
+``np.full`` is a single C loop (the closest thing to a vector-width
+kernel the element-at-a-time generated code can exploit today; fusing
+whole access loops into vector ops would need a loop-level IR and is
+deliberately out of scope).  Per-element reads return ``np.integer``
+scalars, which interoperate with Python ints everywhere the generated
+code uses them and are converted back by :meth:`extract_value` so
+differential outputs stay byte-identical.  Known limitation: int64
+wraparound/overflow semantics differ from Python bignums for values
+past 2^63; the corpus stays well inside that range.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compile.dialects.base import map_structure
+from repro.compile.dialects.plain import PlainDialect
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+_np: Any = None
+_np_error: str | None = None
+
+
+def _numpy() -> Any:
+    """Import numpy once, lazily; remember failure."""
+    global _np, _np_error
+    if _np is None and _np_error is None:
+        try:
+            import numpy
+            _np = numpy
+        except ImportError as exc:  # pragma: no cover - depends on env
+            _np_error = str(exc)
+    return _np
+
+
+def _fits(x: Any) -> bool:
+    return type(x) is int and _I64_MIN <= x <= _I64_MAX
+
+
+def _np_mk(n: int, v: Any) -> Any:
+    np = _numpy()
+    if np is not None and _fits(v):
+        return np.full(n, v, dtype=np.int64)
+    return [v] * n
+
+
+def _np_tab(n: int, f: Any) -> Any:
+    np = _numpy()
+    items = [f(_i) for _i in range(n)]
+    if np is not None and items and all(_fits(x) for x in items):
+        return np.asarray(items, dtype=np.int64)
+    return items
+
+
+class NumpyDialect(PlainDialect):
+    name = "numpy"
+    description = "numpy int64 ndarrays (optional; guarded import)"
+
+    def available(self) -> bool:
+        return _numpy() is not None
+
+    def unavailable_reason(self) -> str | None:
+        if self.available():
+            return None
+        return f"numpy is not importable ({_np_error})"
+
+    def prelude(self) -> str:
+        return (
+            "from repro.compile.dialects.numpy_backend import "
+            "_np_mk, _np_tab\n"
+        )
+
+    def emit_make(self, size: str, init: str) -> str:
+        return f"_np_mk({size}, {init})"
+
+    def emit_tabulate(self, size: str, fn: str) -> str:
+        return f"_np_tab({size}, {fn})"
+
+    def builtin_overrides(self) -> dict[str, str]:
+        return {
+            "array": "_v_array = lambda _p: _np_mk(_p[0], _p[1])",
+            "tabulate": "_v_tabulate = lambda _p: _np_tab(_p[0], _p[1])",
+        }
+
+    def adapt_value(self, value: Any) -> Any:
+        np = _numpy()
+
+        def pack(v, walk):
+            if np is not None and v and all(_fits(x) for x in v):
+                return np.asarray(v, dtype=np.int64)
+            return [walk(x) for x in v]
+
+        return map_structure(value, pack)
+
+    def extract_value(self, value: Any) -> Any:
+        np = _numpy()
+        if np is None:
+            return value
+
+        def unpack(v, walk):
+            if isinstance(v, np.ndarray):
+                return [walk(x) for x in v.tolist()]
+            return [walk(x) for x in v]
+
+        def leaf(v):
+            if isinstance(v, np.integer):
+                return int(v)
+            if isinstance(v, np.bool_):
+                return bool(v)
+            return v
+
+        return map_structure(
+            value, unpack, seq_types=(list, np.ndarray), leaf=leaf
+        )

@@ -1,0 +1,90 @@
+"""The ``packed`` dialect: monomorphic int arrays as ``array('q')``.
+
+Int-valued DML arrays are stored in :class:`array.array` typecode
+``'q'`` buffers (contiguous C ``int64``), so an access site the solver
+proved safe compiles to a genuinely unchecked C-level ``a[i]`` with no
+Python-object hop per element — the representation the paper's
+Table 2/3 numbers assume.  Arrays whose elements are not ints (bools,
+tuples, closures, polymorphic instantiations) silently stay Python
+lists, so the dialect is always safe to select; only the int fast path
+changes representation.
+
+Packing decisions happen at *construction*: ``array(n, v)`` and
+``tabulate(n, f)`` pack iff every element is an int in ``int64`` range
+(``bool`` is deliberately excluded — packing would collapse ``True``
+to ``1`` and break output parity with ``plain``).  Known limitation:
+a later ``update`` of an out-of-``int64``-range value into a packed
+array raises ``OverflowError`` where ``plain`` would store the bignum;
+the corpus never exceeds 64 bits.
+"""
+
+from __future__ import annotations
+
+from array import array as _pyarray
+from typing import Any
+
+from repro.compile.dialects.base import map_structure
+from repro.compile.dialects.plain import PlainDialect
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+
+def _fits(x: Any) -> bool:
+    return type(x) is int and _I64_MIN <= x <= _I64_MAX
+
+
+def _mk_arr(n: int, v: Any) -> Any:
+    """Runtime ``array(n, v)`` constructor: pack when monomorphic int."""
+    if _fits(v):
+        return _pyarray("q", (v,)) * n
+    return [v] * n
+
+
+def _mk_tab(n: int, f: Any) -> Any:
+    """Runtime ``tabulate(n, f)`` constructor."""
+    items = [f(_i) for _i in range(n)]
+    if items and all(_fits(x) for x in items):
+        return _pyarray("q", items)
+    return items
+
+
+class PackedDialect(PlainDialect):
+    name = "packed"
+    description = "array('q') int64 buffers for monomorphic int arrays"
+
+    # Read/write/length emission is inherited: subscript syntax and the
+    # checked helpers (_subc/_updc, len-based) are representation-generic
+    # across list and array('q').  Only construction changes.
+
+    def prelude(self) -> str:
+        return "from repro.compile.dialects.packed import _mk_arr, _mk_tab\n"
+
+    def emit_make(self, size: str, init: str) -> str:
+        return f"_mk_arr({size}, {init})"
+
+    def emit_tabulate(self, size: str, fn: str) -> str:
+        return f"_mk_tab({size}, {fn})"
+
+    def builtin_overrides(self) -> dict[str, str]:
+        # Names must agree with pycodegen._builtin_value_name.
+        return {
+            "array": "_v_array = lambda _p: _mk_arr(_p[0], _p[1])",
+            "tabulate": "_v_tabulate = lambda _p: _mk_tab(_p[0], _p[1])",
+        }
+
+    def adapt_value(self, value: Any) -> Any:
+        def pack(v, walk):
+            if v and all(_fits(x) for x in v):
+                return _pyarray("q", v)
+            return [walk(x) for x in v]
+
+        return map_structure(value, pack)
+
+    def extract_value(self, value: Any) -> Any:
+        def unpack(v, walk):
+            if isinstance(v, _pyarray):
+                return list(v)
+            return [walk(x) for x in v]
+
+        return map_structure(value, unpack, seq_types=(list, _pyarray))

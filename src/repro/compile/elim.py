@@ -17,6 +17,11 @@ mirrored by :meth:`~repro.api.CheckReport.eliminable_sites`):
   failed (or budget-exhausted) bound proof at one access keeps *that*
   site's run-time check and leaves every independently proved site
   unchecked.
+* **Dialects can only keep more checks.**  A plan is issued for one
+  value-representation dialect; the dialect's per-site gate
+  (:meth:`~repro.compile.dialects.Dialect.may_eliminate`) may veto an
+  otherwise-eliminable site but is never consulted about kept sites —
+  so dialect choice can narrow the plan, never widen it.
 
 ``*CK`` operations never appear here — they always check.
 """
@@ -26,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import CheckReport
+from repro.compile.dialects import Dialect, get_dialect
 from repro.core.elaborate import SiteInfo
 
 
@@ -44,6 +50,9 @@ class EliminationPlan:
     #: Per-site proof status over the site's own goals (ignores the
     #: structural gate, so a site may be "proved" yet still checked).
     site_proved: dict[str, bool]
+    #: Value-representation dialect this plan was issued for; the
+    #: ``unchecked`` set already reflects its per-site gate.
+    dialect: str = "plain"
 
     @property
     def bound_sites(self) -> list[SiteInfo]:
@@ -57,18 +66,28 @@ class EliminationPlan:
         kept = len(self.sites) - len(self.unchecked)
         return (
             f"{len(self.unchecked)} of {len(self.sites)} check sites "
-            f"eliminated ({kept} kept)"
+            f"eliminated ({kept} kept) [dialect {self.dialect}]"
         )
 
 
-def plan_elimination(report: CheckReport) -> EliminationPlan:
-    """Compute the elimination plan for a checked program."""
+def plan_elimination(
+    report: CheckReport, dialect: "str | Dialect" = "plain"
+) -> EliminationPlan:
+    """Compute the elimination plan for a checked program, gated by
+    the target dialect's per-site veto."""
+    resolved = get_dialect(dialect)
     site_proved = {
         site_id: report.site_proved(site_id) for site_id in report.sites
+    }
+    unchecked = {
+        site_id
+        for site_id in report.eliminable_sites()
+        if resolved.may_eliminate(report.sites[site_id])
     }
     return EliminationPlan(
         program_proved=report.all_proved,
         sites=dict(report.sites),
-        unchecked=report.eliminable_sites(),
+        unchecked=unchecked,
         site_proved=site_proved,
+        dialect=resolved.name,
     )

@@ -5,20 +5,33 @@ elimination (Tables 2 and 3): the interpreter counts checks exactly but
 is too slow to show wall-clock differences, whereas generated Python
 runs the paper's workloads (scaled) with and without checks.
 
-Code-generation decisions:
+The generator is a *core/dialect* split: this module owns lowering
+(binder versioning, match compilation, tail-loop conversion,
+instrumentation) and is representation-agnostic; everything about how
+array values are stored and accessed is delegated to a pluggable
+:class:`~repro.compile.dialects.Dialect` (``plain`` lists, ``packed``
+``array('q')`` buffers, optional ``numpy``).  Which sites a dialect may
+access unchecked is decided upstream by the elimination plan; a kept
+site checks in every dialect.
 
-* a **statically proved** ``sub`` compiles to a bare ``a[i]``; an
-  unproved one calls the checked helper ``_subc`` — mirroring SML's
+Core code-generation decisions:
+
+* a **statically proved** ``sub`` compiles to the dialect's unchecked
+  read (a bare ``a[i]`` in every current dialect); an unproved one
+  calls the checked helper ``_subc`` — mirroring SML's
   ``Unsafe.Array.sub`` vs safe ``sub``;
 * arithmetic, comparisons and boolean operators inline to Python
   operators (SML ``div``/``mod`` are floor-based, exactly Python's
   ``//`` and ``%``);
 * datatype values: ``nil``/``::`` become ``None``/``(head, tail)``
   pairs, other nullary constructors their tag string, unary ones
-  ``(tag, value)`` pairs;
-* **self-tail-recursive** single-parameter functions compile to
-  ``while`` loops, since CPython has no tail-call optimization and the
-  corpus drives million-iteration loops;
+  ``(tag, value)`` pairs — identical across dialects;
+* **self-tail-recursive** functions compile to ``while`` loops
+  regardless of arity (multi-parameter loops reassign all loop
+  variables in one tuple assignment), since CPython has no tail-call
+  optimization and the corpus drives million-iteration loops — a
+  self-call only loops when it is *saturated* (all parameters applied)
+  and in tail position;
 * every binder gets a fresh versioned Python name, making ML shadowing
   and branch-local ``let``s safe in Python's function-level scope.
 """
@@ -29,6 +42,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.compile.dialects import Dialect, get_dialect
 from repro.core.env import ALWAYS_CHECKED, CHECK_SITES, GlobalEnv
 from repro.lang import ast
 
@@ -69,6 +83,7 @@ class GeneratedModule:
 
     name: str
     source: str
+    dialect: Optional[Dialect] = field(default=None, repr=False)
     _namespace: Optional[dict] = field(default=None, repr=False)
 
     def load(self) -> dict:
@@ -79,11 +94,22 @@ class GeneratedModule:
         return self._namespace
 
     def call(self, fn_name: str, *args: Any) -> Any:
+        """Apply ``fn_name`` to ``args`` *as-is* (curried, no value
+        adaptation — arguments must already use this module's dialect
+        representation)."""
         fn = self.load()[mangle(fn_name)]
         result = fn
         for arg in args:
             result = result(arg)
         return result
+
+    def run(self, fn_name: str, *args: Any) -> Any:
+        """Like :meth:`call`, but adapts Python-native arguments into
+        the module's dialect representation and extracts the result
+        back to Python-native values."""
+        dialect = self.dialect or get_dialect("plain")
+        result = self.call(fn_name, *dialect.adapt_args(args))
+        return dialect.extract_value(result)
 
 
 class _Emitter:
@@ -115,6 +141,7 @@ class PyCodegen:
         env: GlobalEnv,
         unchecked_sites: set[str] | None = None,
         instrument: bool = False,
+        dialect: "str | Dialect" = "plain",
     ) -> None:
         self.env = env
         self.unchecked = unchecked_sites or set()
@@ -122,6 +149,12 @@ class PyCodegen:
         #: so the harness can report exact dynamic check counts from
         #: the compiled code (Tables 2/3's "checks eliminated").
         self.instrument = instrument
+        #: Value-representation backend; owns array storage and
+        #: read/write/make emission.  The core never inspects it beyond
+        #: the Dialect interface.
+        self.dialect = get_dialect(dialect)
+        self._builtin_defs = dict(_BUILTIN_VALUE_DEFS)
+        self._builtin_defs.update(self.dialect.builtin_overrides())
         self.out = _Emitter()
         self._temp = itertools.count(1)
         self._name_version = itertools.count(1)
@@ -138,10 +171,13 @@ class PyCodegen:
             self.compile_decl(decl, scope)
         header = [f'"""Generated by repro.compile.pycodegen from {name}."""']
         header.append(_PRELUDE)
+        dialect_prelude = self.dialect.prelude()
+        if dialect_prelude:
+            header.append(dialect_prelude)
         for builtin in sorted(self._value_builtins):
             header.append(self._builtin_value_def(builtin))
         source = "\n".join(header) + "\n" + "\n".join(body.lines) + "\n"
-        return GeneratedModule(name, source)
+        return GeneratedModule(name, source, self.dialect)
 
     # -- declarations ----------------------------------------------------------
 
@@ -178,7 +214,7 @@ class PyCodegen:
         """Emit nested defs for a curried function of given arity."""
         uid = next(self._temp)
         arg_names = [f"_a{uid}_{i + 1}" for i in range(arity)]
-        self_loop = arity == 1 and _is_self_tail_recursive(binding)
+        self_loop = _is_self_tail_recursive(binding, arity)
 
         def emit_level(level: int) -> None:
             def_name = name if level == 0 else f"_curry{level}"
@@ -189,7 +225,7 @@ class PyCodegen:
                     self.out.emit(f"return _curry{level + 1}")
                 else:
                     self._emit_clause_dispatch(
-                        binding, arg_names, scope, self_loop
+                        binding, arg_names, scope, self_loop, uid
                     )
 
         emit_level(0)
@@ -200,16 +236,30 @@ class PyCodegen:
         arg_names: list[str],
         outer_scope: dict[str, str],
         self_loop: bool,
+        uid: int = 0,
     ) -> None:
-        loop_ctx = ("loop", binding.name, arg_names[0]) if self_loop else None
+        # For a multi-parameter loop the outer curried parameters are
+        # closure variables of enclosing defs and cannot be reassigned,
+        # so each gets a fresh local loop variable; the innermost def's
+        # own parameter is directly assignable.
+        subjects = list(arg_names)
+        loop_ctx: tuple | None = None
         if self_loop:
+            if len(arg_names) > 1:
+                subjects = [
+                    f"_l{uid}_{i + 1}" for i in range(len(arg_names) - 1)
+                ] + [arg_names[-1]]
+                for loop_name, arg in zip(subjects, arg_names):
+                    if loop_name != arg:
+                        self.out.emit(f"{loop_name} = {arg}")
+            loop_ctx = ("loop", binding.name, subjects)
             self.out.emit("while True:")
             self.out.indent += 1
         for params, body_expr in [(c.params, c.body) for c in binding.clauses]:
             scope = dict(outer_scope)
             conds: list[str] = []
             binds: list[tuple[str, str]] = []
-            for pat, arg in zip(params, arg_names):
+            for pat, arg in zip(params, subjects):
                 c, b = self._pattern_parts(pat, arg, scope)
                 conds.extend(c)
                 binds.extend(b)
@@ -283,17 +333,27 @@ class PyCodegen:
                 lambda body, sc: self._compile_stmt(body, sc, loop_ctx),
             )
             return
-        if (
-            loop_ctx is not None
-            and isinstance(expr, ast.EApp)
-            and isinstance(expr.fn, ast.EVar)
-            and expr.fn.name == loop_ctx[1]
-            and scope.get(expr.fn.name) == mangle(loop_ctx[1])
-        ):
-            arg = self.compile_expr(expr.arg, scope)
-            self.out.emit(f"{loop_ctx[2]} = {arg}")
-            self.out.emit("continue")
-            return
+        if loop_ctx is not None and isinstance(expr, ast.EApp):
+            head, spine = _app_spine(expr)
+            if (
+                isinstance(head, ast.EVar)
+                and head.name == loop_ctx[1]
+                and len(spine) == len(loop_ctx[2])
+                and scope.get(head.name) == mangle(loop_ctx[1])
+            ):
+                # Saturated self tail call: one simultaneous (tuple)
+                # assignment — every RHS evaluates before any loop
+                # variable changes — then re-enter the dispatch loop.
+                args = [self.compile_expr(a, scope) for a in spine]
+                targets = loop_ctx[2]
+                if len(targets) == 1:
+                    self.out.emit(f"{targets[0]} = {args[0]}")
+                else:
+                    self.out.emit(
+                        f"{', '.join(targets)} = {', '.join(args)}"
+                    )
+                self.out.emit("continue")
+                return
         self.out.emit(f"return {self.compile_expr(expr, scope)}")
 
     # -- expressions --------------------------------------------------------
@@ -469,18 +529,21 @@ class PyCodegen:
             if name in CHECK_SITES or name in ALWAYS_CHECKED:
                 return self._compile_access(name, expr, scope)
             if name == "length":
-                return f"len({self.compile_expr(expr.arg, scope)})"
+                return self.dialect.emit_length(
+                    self.compile_expr(expr.arg, scope)
+                )
             if name == "array":
                 arg = self._ensure_atom(self.compile_expr(expr.arg, scope))
-                return f"([{arg}[1]] * {arg}[0])"
+                return self.dialect.emit_make(f"{arg}[0]", f"{arg}[1]")
             if name == "tabulate":
                 if isinstance(expr.arg, ast.ETuple) and len(expr.arg.items) == 2:
                     n = self.compile_expr(expr.arg.items[0], scope)
                     f = self.compile_expr(expr.arg.items[1], scope)
-                    return (f"[{self._parens(f)}(_ti) "
-                            f"for _ti in range({n})]")
+                    return self.dialect.emit_tabulate(n, f)
                 packed = self._ensure_atom(self.compile_expr(expr.arg, scope))
-                return (f"[{packed}[1](_ti) for _ti in range({packed}[0])]")
+                return self.dialect.emit_tabulate(
+                    f"{packed}[0]", f"{packed}[1]"
+                )
             if name == "compare":
                 return f"_compare(*{self.compile_expr(expr.arg, scope)})"
             if name == "print_int":
@@ -520,13 +583,11 @@ class PyCodegen:
             wrap = "_cp" if checked else "_ce"
         if base == "sub":
             a, i = parts
-            if checked:
-                return f"{wrap}(_subc({a}, {i}))" if wrap else f"_subc({a}, {i})"
-            body = f"{self._parens(a)}[{i}]"
+            body = self.dialect.emit_read(a, i, checked)
             return f"{wrap}({body})" if wrap else body
         if base == "update":
             a, i, v = parts
-            body = f"{'_updc' if checked else '_upd'}({a}, {i}, {v})"
+            body = self.dialect.emit_write(a, i, v, checked)
             return f"{wrap}({body})" if wrap else body
         if base == "nth":
             lst, n = parts
@@ -689,9 +750,8 @@ class PyCodegen:
             return code
         return f"({code})"
 
-    @staticmethod
-    def _builtin_value_def(name: str) -> str:
-        return _BUILTIN_VALUE_DEFS[name]
+    def _builtin_value_def(self, name: str) -> str:
+        return self._builtin_defs[name]
 
 
 def _builtin_value_name(name: str) -> str:
@@ -773,24 +833,46 @@ def _emits_statements(expr: ast.Expr) -> bool:
     return False
 
 
-def _is_self_tail_recursive(binding: ast.FunBinding) -> bool:
+def _app_spine(expr: ast.Expr) -> tuple[ast.Expr, list[ast.Expr]]:
+    """Unroll curried application: ``f a b c`` -> ``(f, [a, b, c])``."""
+    args: list[ast.Expr] = []
+    while isinstance(expr, ast.EApp):
+        args.append(expr.arg)
+        expr = expr.fn
+    args.reverse()
+    return expr, args
+
+
+def _is_self_tail_recursive(binding: ast.FunBinding,
+                            arity: int | None = None) -> bool:
     """Does the binding tail-call itself (and is thus loop-convertible)?
 
     Conservative: any *non-tail* self reference disables the loop
     transform (the name would still resolve, but we only rewrite pure
-    tail loops); references to the name as a value also disable it.
+    tail loops); references to the name as a value, partial
+    applications, and over-applications also disable it — only a
+    *saturated* self-call (exactly ``arity`` arguments) in tail
+    position becomes a ``continue``.
     """
     name = binding.name
+    if arity is None:
+        arity = len(binding.clauses[0].params)
 
     def tail_calls_only(expr: ast.Expr, tail: bool) -> bool:
-        """True if every occurrence of ``name`` is a tail self-call."""
+        """True if every occurrence of ``name`` is a saturated tail
+        self-call."""
         if isinstance(expr, ast.EVar):
             return expr.name != name
         if isinstance(expr, ast.EApp):
-            if isinstance(expr.fn, ast.EVar) and expr.fn.name == name:
-                return tail and tail_calls_only(expr.arg, False)
-            return tail_calls_only(expr.fn, False) and tail_calls_only(
-                expr.arg, False
+            head, args = _app_spine(expr)
+            if isinstance(head, ast.EVar) and head.name == name:
+                return (
+                    tail
+                    and len(args) == arity
+                    and all(tail_calls_only(a, False) for a in args)
+                )
+            return tail_calls_only(head, False) and all(
+                tail_calls_only(a, False) for a in args
             )
         if isinstance(expr, ast.EIf):
             return (
@@ -904,8 +986,9 @@ def compile_program(
     unchecked_sites: set[str] | None = None,
     name: str = "dml",
     instrument: bool = False,
+    dialect: "str | Dialect" = "plain",
 ) -> GeneratedModule:
     """Compile an elaborated program to a loadable Python module."""
-    return PyCodegen(env, unchecked_sites, instrument).compile_program(
+    return PyCodegen(env, unchecked_sites, instrument, dialect).compile_program(
         program, name
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import CheckReport
+from repro.compile.dialects import dialect_summary
 from repro.solver.backends import backend_names
 from repro.solver.budget import DEFAULT_LIMITS, SolverLimits
 
@@ -202,6 +203,7 @@ def check_response(
         "constraints": report.num_constraints,
         "sites": len(report.sites),
         "eliminable": sorted(report.eliminable_sites()),
+        "dialects": dialect_summary(report.sites, report.eliminable_sites()),
         "warnings": list(report.warnings),
         "budget_exhausted": report.stats.budget_exhausted,
         "contained_crashes": report.stats.contained_crashes,

@@ -133,6 +133,46 @@ class TestGeneratedStructure:
         mod = self.compile("fun f a b c = a + b + c")
         assert mod.source.count("_curry") >= 2
 
+    def test_multi_param_tail_loop_converts(self):
+        # Curried multi-parameter self-tail-recursion also becomes a
+        # while loop: a saturated tail call assigns all loop locals at
+        # once (tuple assignment) and continues.
+        mod = self.compile(
+            "fun loop2 n acc = if n = 0 then acc else loop2 (n - 1) (acc + n)"
+        )
+        body = mod.source.split("def d_loop2")[1]
+        assert "while True:" in body
+        assert "d_loop2(" not in body
+
+    def test_multi_param_tail_loop_runs_deep(self):
+        mod = self.compile(
+            "fun loop2 n acc = if n = 0 then acc else loop2 (n - 1) (acc + n)"
+        )
+        n = 100_000  # far past the CPython recursion limit
+        assert mod.call("loop2", n, 0) == n * (n + 1) // 2
+
+    def test_three_param_tail_loop_runs_deep(self):
+        mod = self.compile(
+            "fun go a b c = if a = 0 then b - c else go (a - 1) (b + 1) b"
+        )
+        # b/c swap each step: catches ordering bugs a sequential
+        # (non-tuple) loop-variable update would introduce.
+        assert mod.source.count("while True:") >= 1
+        assert mod.call("go", 50_000, 1, 0) == 1
+
+    def test_multi_param_non_tail_stays_recursive(self):
+        mod = self.compile(
+            "fun f n acc = if n = 0 then acc else 1 + f (n - 1) acc"
+        )
+        assert "while True:" not in mod.source.split("def d_f")[1]
+
+    def test_partial_self_application_stays_recursive(self):
+        # An unsaturated self-call is a value, not a loop iteration.
+        mod = self.compile(
+            "fun g n k = if n = 0 then k else (g (n - 1)) (k + n)"
+        )
+        assert mod.call("g", 5, 0) == 15
+
     def test_fresh_names_never_collide(self):
         mod = self.compile(
             "fun f(x) = let val y = x + 1 in "

@@ -2,16 +2,21 @@
 
 Random well-typed programs are generated as source text, then run
 through (a) the instrumented interpreter and (b) the Python code
-generator.  Both must agree with each other — and, for the arithmetic
-fragment, with a direct Python evaluation of the same expression tree.
+generator — in every available compilation dialect.  All must agree
+with each other — and, for the arithmetic fragment, with a direct
+Python evaluation of the same expression tree.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import api
+from repro.compile.dialects import available_dialects, get_dialect
 from repro.compile.pycodegen import compile_program
 from repro.eval.interp import Interpreter
+
+DIALECTS = available_dialects()
 
 
 # -- expression generator ----------------------------------------------------
@@ -101,49 +106,56 @@ def exprs(depth=3):
     )
 
 
+@pytest.mark.parametrize("dialect_name", DIALECTS)
 @given(exprs(), st.integers(-50, 50))
 @settings(max_examples=60, deadline=None)
-def test_engines_agree_with_reference(expr, arg):
+def test_engines_agree_with_reference(dialect_name, expr, arg):
     source_expr, reference = expr
     source = f"fun f(x) = {source_expr}"
     report = api.check(source, "<prop>")
     interp = Interpreter(report.program, report.eliminable_sites(),
                          env=report.env)
     module = compile_program(
-        report.program, report.env, report.eliminable_sites(), "prop"
+        report.program, report.env, report.eliminable_sites(), "prop",
+        dialect=dialect_name,
     )
     expected = reference(arg)
     assert interp.call("f", arg) == expected
-    assert module.call("f", arg) == expected
+    assert module.run("f", arg) == expected
 
 
+@pytest.mark.parametrize("dialect_name", DIALECTS)
 @given(st.lists(st.integers(-1000, 1000), max_size=30))
 @settings(max_examples=30, deadline=None)
-def test_sort_engines_agree(data):
+def test_sort_engines_agree(dialect_name, data):
     report = api.check_corpus("quicksort")
+    dialect = get_dialect(dialect_name)
     interp = Interpreter(report.program, report.eliminable_sites(),
                          env=report.env)
     module = compile_program(
-        report.program, report.env, report.eliminable_sites(), "qs"
+        report.program, report.env, report.eliminable_sites(), "qs",
+        dialect=dialect_name,
     )
     a = list(data)
-    b = list(data)
+    buf = dialect.adapt_value(list(data))
     interp.call("quicksort", a)
-    module.call("quicksort", b)
-    assert a == b == sorted(data)
+    module.call("quicksort", buf)
+    assert a == dialect.extract_value(buf) == sorted(data)
 
 
+@pytest.mark.parametrize("dialect_name", DIALECTS)
 @given(st.lists(st.integers(0, 3), min_size=1, max_size=40),
        st.lists(st.integers(0, 3), min_size=1, max_size=4))
 @settings(max_examples=40, deadline=None)
-def test_kmp_matches_python_find(text, pattern):
+def test_kmp_matches_python_find(dialect_name, text, pattern):
     report = api.check_corpus("kmp")
     module = compile_program(
-        report.program, report.env, report.eliminable_sites(), "kmp"
+        report.program, report.env, report.eliminable_sites(), "kmp",
+        dialect=dialect_name,
     )
     expected = -1
     for i in range(len(text) - len(pattern) + 1):
         if text[i:i + len(pattern)] == pattern:
             expected = i
             break
-    assert module.call("kmpMatch", (text, pattern)) == expected
+    assert module.run("kmpMatch", (text, pattern)) == expected

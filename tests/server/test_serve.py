@@ -146,6 +146,15 @@ class TestEndpoints:
         assert answer["verdicts"] == reference_verdicts(GOOD, "good.dml")
         assert answer["eliminable"] and answer["sites"] == 1
         assert answer["limits"]["max_steps"] == DEFAULT_LIMITS.max_steps
+        # Per-dialect summary: every registered dialect reports how many
+        # of the eliminable sites its gate lets through (never more).
+        assert set(answer["dialects"]) >= {"plain", "packed", "numpy"}
+        for entry in answer["dialects"].values():
+            assert entry["sites"] == answer["sites"]
+            assert 0 <= entry["eliminable"] <= len(answer["eliminable"])
+        assert answer["dialects"]["plain"]["available"] is True
+        assert (answer["dialects"]["plain"]["eliminable"]
+                == len(answer["eliminable"]))
 
     def test_check_bad_matches_api(self, client):
         answer = client.check(BAD, "bad.dml")

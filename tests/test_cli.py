@@ -85,13 +85,35 @@ class TestCommands:
 
     def test_compile_to_stdout(self, good_file, capsys):
         assert main(["compile", good_file]) == 0
-        assert "def d_f" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "def d_f" in captured.out
+        # The elimination summary goes to stderr in BOTH output modes,
+        # so stdout stays a clean Python module.
+        assert "1/1 checks eliminated (dialect plain)" in captured.err
 
     def test_compile_to_file(self, good_file, tmp_path, capsys):
         out = tmp_path / "gen.py"
         assert main(["compile", good_file, "-o", str(out)]) == 0
         assert "def d_f" in out.read_text()
-        assert "1/1 checks eliminated" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert f"wrote {out}" in captured.out
+        assert "1/1 checks eliminated (dialect plain)" in captured.err
+
+    def test_compile_dialect_flag(self, good_file, capsys):
+        assert main(["compile", good_file, "--dialect", "packed"]) == 0
+        captured = capsys.readouterr()
+        assert "_mk_arr" in captured.out  # packed prelude import
+        assert "(dialect packed)" in captured.err
+
+    def test_compile_with_store(self, good_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["compile", good_file, "--store", "sqlite",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        assert (cache_dir / "verdicts.sqlite").exists()
+        capsys.readouterr()
+        assert main(argv) == 0  # second run warm-starts from the store
+        assert "1/1 checks eliminated" in capsys.readouterr().err
 
     def test_run(self, good_file, capsys):
         assert main(["run", good_file, "f", "[|7, 8|]"]) == 0
@@ -105,6 +127,33 @@ class TestCommands:
     def test_run_eliminated(self, good_file, capsys):
         main(["run", good_file, "f", "[|7|]"])
         assert "1 eliminated" in capsys.readouterr().err
+
+    def test_compile_and_run_corpus_workload(self, capsys):
+        argv = ["compile-and-run", "bsearch", "--dialect", "packed",
+                "--scale", "256", "--repeat", "1", "--counts"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "compile-and-run bsearch (dialect packed" in captured.out
+        assert "unchecked :" in captured.out
+        assert "checked   :" in captured.out
+        assert "gain" in captured.out
+        assert "result    : ok" in captured.out
+        assert "checks eliminated (dialect packed)" in captured.err
+
+    def test_compile_and_run_explicit_entry(self, good_file, capsys):
+        argv = ["compile-and-run", good_file, "[|7, 8|]",
+                "--entry", "f", "--no-baseline", "--repeat", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "result    : 7" in out
+
+    def test_compile_and_run_unknown_program(self, capsys):
+        assert main(["compile-and-run", "no_such_prog"]) == 2
+        assert "neither a file nor a corpus" in capsys.readouterr().err
+
+    def test_compile_and_run_needs_entry(self, good_file, capsys):
+        assert main(["compile-and-run", good_file]) == 2
+        assert "no --entry" in capsys.readouterr().err
 
     def test_missing_file(self, capsys):
         assert main(["check", "/nonexistent/x.dml"]) == 2
