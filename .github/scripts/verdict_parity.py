@@ -17,6 +17,12 @@ the sqlite row-merge store and the locked-JSON fallback are
 interchangeable — cold verdicts, warm verdicts, warm replay counts,
 and warm hit rates all match between ``--store sqlite`` and
 ``--store json``.
+
+``--fuzz-corpus`` scales the same promise up: a generated corpus
+(``repro fuzz --corpus-scale``, ~10x the bundled one, with failing
+goals in the mix by construction) driven through ``check-corpus
+--dir`` must produce byte-identical verdicts at jobs=1, jobs=4, and
+under the process executor.
 """
 
 from __future__ import annotations
@@ -107,11 +113,58 @@ def store_parity() -> int:
     return 0
 
 
+def fuzz_corpus_parity() -> int:
+    from repro.fuzz import emit_corpus
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-corpus") as tmp:
+        corpus = f"{tmp}/corpus"
+        paths = emit_corpus(corpus, 160, seed=0)
+        seq = driver.check_corpus(jobs=1, cache_dir=None, source_dir=corpus)
+        par = driver.check_corpus(jobs=4, cache_dir=None, source_dir=corpus)
+        proc = driver.check_corpus(
+            jobs=4, executor="process", cache_dir=f"{tmp}/cache",
+            source_dir=corpus,
+        )
+
+    if len(seq.rows) != len(paths):
+        print(
+            f"driver checked {len(seq.rows)} of {len(paths)} generated "
+            "programs",
+            file=sys.stderr,
+        )
+        return 1
+    if verdicts(par) != verdicts(seq):
+        print("jobs=4 verdicts diverged from jobs=1 on the generated "
+              "corpus", file=sys.stderr)
+        return 1
+    if verdicts(proc) != verdicts(seq):
+        print("process-executor verdicts diverged on the generated "
+              "corpus", file=sys.stderr)
+        return 1
+    failing = sum(1 for row in seq.rows if not row.ok)
+    if failing == 0:
+        print(
+            "generated corpus exercised no failing goals — the "
+            "generator's non-eliminable sites are gone",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"fuzz-corpus parity ok: {len(seq.rows)} generated programs, "
+        f"{seq.goals} goals ({failing} program(s) with unproved sites "
+        "by construction), verdicts identical at jobs=1 / jobs=4 / "
+        "process executor"
+    )
+    return 0
+
+
 def main() -> int:
     if "--slice-parity" in sys.argv[1:]:
         return slice_parity()
     if "--store-parity" in sys.argv[1:]:
         return store_parity()
+    if "--fuzz-corpus" in sys.argv[1:]:
+        return fuzz_corpus_parity()
     with tempfile.TemporaryDirectory(prefix="repro-parity") as tmp:
         cold = driver.check_corpus(jobs=1, cache_dir=tmp, clear=True)
         warm = driver.check_corpus(jobs=1, cache_dir=tmp)

@@ -108,6 +108,11 @@ def cmd_check(args: argparse.Namespace) -> int:
                        cache=args.cache, limits=_limits(args),
                        slice_goals=not args.no_slice)
     print(report.summary())
+    if args.explain and not report.all_proved:
+        print()
+        print("diagnostics:")
+        for line in report.explain():
+            print(f"  {line}")
     return 0 if report.all_proved else 1
 
 
@@ -425,7 +430,7 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
     from repro import driver, programs
 
     names = args.programs or None
-    if names:
+    if names and args.dir is None:
         known = set(programs.available())
         unknown = [n for n in names if n not in known]
         if unknown:
@@ -442,9 +447,65 @@ def cmd_check_corpus(args: argparse.Namespace) -> int:
         clear=args.clear_cache,
         limits=_limits(args),
         slice_goals=not args.no_slice,
+        source_dir=args.dir,
     )
     print(report.render())
     return 0 if report.all_ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.compile.dialects import DialectError
+    from repro.fuzz import GenConfig, emit_corpus, fuzz
+    from repro.fuzz.faults import FAULTS, get_fault
+    from repro.fuzz.oracle import resolve_dialects
+
+    config = GenConfig(decls=args.decls, depth=args.depth)
+
+    if args.corpus_scale is not None:
+        if args.out is None:
+            print("error: --corpus-scale needs --out DIR", file=sys.stderr)
+            return 2
+        paths = emit_corpus(args.out, args.corpus_scale,
+                            seed=args.seed, config=config)
+        print(f"emitted {len(paths)} program(s) to {args.out} "
+              f"(seed {args.seed}); check them with "
+              f"`repro check-corpus --dir {args.out}`")
+        return 0
+
+    try:
+        dialects = resolve_dialects(
+            args.dialects.split(",") if args.dialects else None
+        )
+    except DialectError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fault is not None:
+        if args.fault not in FAULTS:
+            print(f"error: unknown fault {args.fault!r} "
+                  f"(available: {', '.join(sorted(FAULTS))})", file=sys.stderr)
+            return 2
+        fault = get_fault(args.fault)
+        dialects = [*dialects, (fault.name, fault)]
+
+    def progress(i: int, result) -> None:
+        if not result.ok:
+            print(f"  [{i}] {result.worst} mismatch found, shrinking..."
+                  if args.shrink else f"  [{i}] {result.worst} mismatch found",
+                  file=sys.stderr)
+
+    report = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        dialects=dialects,
+        config=config,
+        shrink=args.shrink,
+        max_shrink_attempts=args.max_shrink_attempts,
+        backend=args.backend,
+        out=args.out,
+        progress=progress,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -543,6 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="type-check a program")
     common(p_check)
+    p_check.add_argument("--explain", action="store_true",
+                         help="on failure, print concrete counterexample "
+                              "valuations for every unproved goal "
+                              "(\"fails when i = 3, n = 2\")")
     p_check.set_defaults(fn=cmd_check)
 
     p_goals = sub.add_parser("goals", help="dump all proof goals")
@@ -618,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
         "programs", nargs="*",
         help="corpus program names (default: every bundled program)")
     p_corpus.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="check *.dml files under DIR instead of the bundled "
+             "corpus (e.g. a `repro fuzz --corpus-scale` output tree); "
+             "positional names then select stems within DIR")
+    p_corpus.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker count (default: CPU count; 1 = sequential)")
     p_corpus.add_argument(
@@ -644,6 +714,51 @@ def build_parser() -> argparse.ArgumentParser:
     slice_flag(p_corpus)
     budget_flags(p_corpus)
     p_corpus.set_defaults(fn=cmd_check_corpus)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the whole pipeline: generated "
+             "well-typed programs run through the interpreter and every "
+             "dialect's checked + certificate-gated unchecked builds; "
+             "any divergence is shrunk to a minimal repro",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; iteration i draws from the "
+                             "stream \"SEED:i\" (default: 0)")
+    p_fuzz.add_argument("--iterations", "-n", type=int, default=200,
+                        metavar="N",
+                        help="programs to generate and cross-check "
+                             "(default: 200)")
+    p_fuzz.add_argument("--dialects", default=None, metavar="A,B",
+                        help="comma-separated dialect names to compare "
+                             "(default: every available dialect)")
+    p_fuzz.add_argument("--depth", type=int, default=8, metavar="D",
+                        help="ops per generated main body (default: 8)")
+    p_fuzz.add_argument("--decls", type=int, default=3, metavar="K",
+                        help="helper declarations per program "
+                             "(default: 3)")
+    p_fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="report findings unminimized")
+    p_fuzz.add_argument("--max-shrink-attempts", type=int, default=250,
+                        metavar="N",
+                        help="oracle evaluations the shrinker may spend "
+                             "per finding (default: 250)")
+    p_fuzz.add_argument("--out", default=None, metavar="DIR",
+                        help="write finding_NNNN.dml/.txt repros (or the "
+                             "--corpus-scale programs) under DIR")
+    p_fuzz.add_argument("--backend", default="fourier",
+                        choices=backend_names(),
+                        help="constraint solver backend")
+    p_fuzz.add_argument("--fault", default=None, metavar="NAME",
+                        help="self-test: add a deliberately broken "
+                             "dialect variant (overflow-update, "
+                             "oob-read) and expect findings")
+    p_fuzz.add_argument("--corpus-scale", type=int, default=None,
+                        metavar="COUNT",
+                        help="emit COUNT generated programs to --out "
+                             "and exit (no oracle runs): scaled input "
+                             "for `check-corpus --dir`")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_serve = sub.add_parser(
         "serve",

@@ -2,20 +2,28 @@
 
 Int-valued DML arrays are stored in :class:`array.array` typecode
 ``'q'`` buffers (contiguous C ``int64``), so an access site the solver
-proved safe compiles to a genuinely unchecked C-level ``a[i]`` with no
+proved safe compiles to a genuinely unchecked C-level read with no
 Python-object hop per element — the representation the paper's
-Table 2/3 numbers assume.  Arrays whose elements are not ints (bools,
-tuples, closures, polymorphic instantiations) silently stay Python
-lists, so the dialect is always safe to select; only the int fast path
-changes representation.
+Table 2/3 numbers assume.  Every array value is a
+:class:`~repro.compile.dialects.buffers.Buf` cell; int payloads in
+int64 range pack into ``array('q')``, everything else (bools, tuples,
+closures, polymorphic instantiations) stays a plain Python list inside
+the same cell, so the dialect is always safe to select.
 
 Packing decisions happen at *construction*: ``array(n, v)`` and
 ``tabulate(n, f)`` pack iff every element is an int in ``int64`` range
 (``bool`` is deliberately excluded — packing would collapse ``True``
-to ``1`` and break output parity with ``plain``).  Known limitation:
-a later ``update`` of an out-of-``int64``-range value into a packed
-array raises ``OverflowError`` where ``plain`` would store the bignum;
-the corpus never exceeds 64 bits.
+to ``1`` and break output parity with ``plain``).  Empty arrays from
+either constructor share one representation (an empty plain list in
+the cell), so ``array(0, v)`` and ``tabulate(0, f)`` are
+indistinguishable, exactly as in ``plain``.
+
+A later ``update`` of an out-of-``int64``-range value *repacks on
+overflow*: the buffer demotes to a plain list holding the bignum —
+every alias observes the demotion through the shared cell — so
+behaviour matches ``plain`` bit for bit instead of raising
+``OverflowError``.  The differential fuzzer (:mod:`repro.fuzz`)
+guards this parity.
 """
 
 from __future__ import annotations
@@ -23,8 +31,10 @@ from __future__ import annotations
 from array import array as _pyarray
 from typing import Any
 
-from repro.compile.dialects.base import map_structure
+from repro.compile.dialects.base import map_structure, parens
+from repro.compile.dialects.buffers import Buf
 from repro.compile.dialects.plain import PlainDialect
+from repro.compile.support import _oob
 
 _I64_MIN = -(2 ** 63)
 _I64_MAX = 2 ** 63 - 1
@@ -34,31 +44,71 @@ def _fits(x: Any) -> bool:
     return type(x) is int and _I64_MIN <= x <= _I64_MAX
 
 
-def _mk_arr(n: int, v: Any) -> Any:
+def _mk_arr(n: int, v: Any) -> Buf:
     """Runtime ``array(n, v)`` constructor: pack when monomorphic int."""
+    if n <= 0:
+        return Buf([])
     if _fits(v):
-        return _pyarray("q", (v,)) * n
-    return [v] * n
+        return Buf(_pyarray("q", (v,)) * n)
+    return Buf([v] * n)
 
 
-def _mk_tab(n: int, f: Any) -> Any:
+def _mk_tab(n: int, f: Any) -> Buf:
     """Runtime ``tabulate(n, f)`` constructor."""
     items = [f(_i) for _i in range(n)]
     if items and all(_fits(x) for x in items):
-        return _pyarray("q", items)
-    return items
+        return Buf(_pyarray("q", items))
+    return Buf(items)
+
+
+def _upd_pk(a: Buf, i: int, v: Any) -> tuple:
+    """Unchecked packed write with repack-on-overflow."""
+    try:
+        a.buf[i] = v
+    except OverflowError:
+        a.demote()[i] = v
+    return ()
+
+
+def _updc_pk(a: Buf, i: int, v: Any) -> tuple:
+    """Checked packed write with repack-on-overflow."""
+    buf = a.buf
+    if not 0 <= i < len(buf):
+        _oob(i)
+    try:
+        buf[i] = v
+    except OverflowError:
+        a.demote()[i] = v
+    return ()
 
 
 class PackedDialect(PlainDialect):
     name = "packed"
     description = "array('q') int64 buffers for monomorphic int arrays"
 
-    # Read/write/length emission is inherited: subscript syntax and the
-    # checked helpers (_subc/_updc, len-based) are representation-generic
-    # across list and array('q').  Only construction changes.
+    # Checked reads are inherited (_subc drives the Buf through its
+    # sequence dunders); the unchecked hot paths below go straight at
+    # the cell slot so a proved site costs one attribute load plus the
+    # C-level buffer index.
 
     def prelude(self) -> str:
-        return "from repro.compile.dialects.packed import _mk_arr, _mk_tab\n"
+        return (
+            "from repro.compile.dialects.packed import "
+            "_mk_arr, _mk_tab, _upd_pk, _updc_pk\n"
+        )
+
+    def emit_read(self, array: str, index: str, checked: bool) -> str:
+        if checked:
+            return f"_subc({array}, {index})"
+        return f"{parens(array)}.buf[{index}]"
+
+    def emit_write(self, array: str, index: str, value: str,
+                   checked: bool) -> str:
+        helper = "_updc_pk" if checked else "_upd_pk"
+        return f"{helper}({array}, {index}, {value})"
+
+    def emit_length(self, array: str) -> str:
+        return f"len({parens(array)}.buf)"
 
     def emit_make(self, size: str, init: str) -> str:
         return f"_mk_arr({size}, {init})"
@@ -67,7 +117,11 @@ class PackedDialect(PlainDialect):
         return f"_mk_tab({size}, {fn})"
 
     def builtin_overrides(self) -> dict[str, str]:
-        # Names must agree with pycodegen._builtin_value_name.
+        # Names must agree with pycodegen._builtin_value_name.  The
+        # other array builtins (sub/update/length and the CK variants)
+        # inherit the generic helpers, which work on Bufs through the
+        # sequence protocol — update included, since Buf.__setitem__
+        # repacks on overflow.
         return {
             "array": "_v_array = lambda _p: _mk_arr(_p[0], _p[1])",
             "tabulate": "_v_tabulate = lambda _p: _mk_tab(_p[0], _p[1])",
@@ -75,16 +129,22 @@ class PackedDialect(PlainDialect):
 
     def adapt_value(self, value: Any) -> Any:
         def pack(v, walk):
+            if isinstance(v, Buf):
+                v = list(v.buf)
             if v and all(_fits(x) for x in v):
-                return _pyarray("q", v)
-            return [walk(x) for x in v]
+                return Buf(_pyarray("q", v))
+            return Buf([walk(x) for x in v])
 
         return map_structure(value, pack)
 
     def extract_value(self, value: Any) -> Any:
         def unpack(v, walk):
+            if isinstance(v, Buf):
+                v = v.buf
             if isinstance(v, _pyarray):
                 return list(v)
             return [walk(x) for x in v]
 
-        return map_structure(value, unpack, seq_types=(list, _pyarray))
+        return map_structure(
+            value, unpack, seq_types=(list, _pyarray, Buf)
+        )

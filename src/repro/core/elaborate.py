@@ -437,7 +437,15 @@ class Elaborator:
             self.subtype(self.open_sig(s), t, span, origin)
             return
         if isinstance(t, dt.DPi):
+            # Bracket the opened Pi in its own frame: the rigid binders
+            # and guard hypotheses scope *only* the constraints of this
+            # subtype derivation.  Left mid-frame they would quantify
+            # everything elaborated afterwards — a contradictory guard
+            # (e.g. i < 0 from instantiating at n = 0) then makes every
+            # later obligation vacuously provable.
+            self.col.push()
             self.subtype(s, self.open_pi_rigid(t), span, origin)
+            self.col.pop_into_parent()
             return
         if isinstance(s, dt.DPi):
             self.subtype(self.instantiate_pi(s, origin, span), t, span, origin)

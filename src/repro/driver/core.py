@@ -42,6 +42,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import api, programs
 from repro.api import CheckReport
@@ -603,8 +604,26 @@ class CorpusReport:
         return "\n".join(lines)
 
 
+def _load_source(name: str, source_dir: str | None) -> str:
+    """One corpus program's text: bundled by default, or ``NAME.dml``
+    under ``source_dir`` for on-disk corpora (``check-corpus --dir``,
+    typically a ``repro fuzz --corpus-scale`` output tree)."""
+    if source_dir is None:
+        return programs.load_source(name)
+    return Path(source_dir, f"{name}.dml").read_text()
+
+
+def _dir_names(source_dir: str) -> list[str]:
+    names = sorted(p.stem for p in Path(source_dir).glob("*.dml"))
+    if not names:
+        raise FileNotFoundError(f"no *.dml programs under {source_dir!r}")
+    return names
+
+
 def _check_one_process(
-    args: tuple[str, str, str | None, str, int | None, float | None, bool],
+    args: tuple[
+        str, str, str | None, str, int | None, float | None, bool, str | None
+    ],
 ) -> tuple[ProgramResult, list[tuple[str, str, bool]], dict[str, list[GoalRecord]]]:
     """Process-pool worker: check one bundled program in isolation.
 
@@ -619,7 +638,8 @@ def _check_one_process(
     each worker builds its own :class:`SliceContext` inside
     :func:`check_program`.
     """
-    name, backend, cache_dir, store, max_steps, goal_timeout, slice_goals = args
+    (name, backend, cache_dir, store, max_steps, goal_timeout,
+     slice_goals, source_dir) = args
     limits = (
         SolverLimits(max_steps=max_steps, goal_timeout=goal_timeout)
         if (max_steps is not None or goal_timeout is not None)
@@ -629,7 +649,7 @@ def _check_one_process(
     cache = SolverCache(maxsize=65536)
     try:
         outcome = check_program(
-            programs.load_source(name),
+            _load_source(name, source_dir),
             f"{name}.dml",
             backend=backend,
             jobs=1,
@@ -661,6 +681,7 @@ def check_corpus(
     clear: bool = False,
     limits: SolverLimits | None = None,
     slice_goals: bool = True,
+    source_dir: str | None = None,
 ) -> CorpusReport:
     """Check bundled corpus programs concurrently.
 
@@ -673,10 +694,18 @@ def check_corpus(
     selects the backend (``"sqlite"`` row-merge WAL store by default,
     ``"json"`` the locked single-file fallback); ``clear`` wipes the
     persisted state first (a guaranteed-cold run).
+
+    ``source_dir`` switches the program source from the bundled corpus
+    to ``*.dml`` files under a directory (names default to every stem,
+    sorted) — the consumption side of ``repro fuzz --corpus-scale``.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}")
-    names = names if names is not None else programs.available()
+    if names is None:
+        names = (
+            _dir_names(source_dir) if source_dir is not None
+            else programs.available()
+        )
     jobs = _effective_jobs(jobs)
     disk = open_store(cache_dir, store) if cache_dir is not None else None
     if disk is not None and clear:
@@ -691,6 +720,7 @@ def check_corpus(
                 limits.max_steps if limits is not None else None,
                 limits.goal_timeout if limits is not None else None,
                 slice_goals,
+                source_dir,
             )
             for name in names
         ]
@@ -715,7 +745,7 @@ def check_corpus(
 
         def check_one(name: str) -> ProgramResult:
             outcome = check_program(
-                programs.load_source(name),
+                _load_source(name, source_dir),
                 f"{name}.dml",
                 backend=backend,
                 jobs=1,

@@ -1,0 +1,72 @@
+"""Deliberately broken dialect variants (fuzzer self-test).
+
+The acceptance bar for a bug-finding subsystem is that it finds bugs:
+these dialects re-introduce, behind an opt-in flag, exactly the
+defects the fuzzer was built to catch, so CI can assert that a bounded
+run flags them and the shrinker reduces the repro below twenty source
+lines.  They are never registered in the dialect registry — only
+``repro fuzz --fault NAME`` and the self-tests construct them, via
+:data:`FAULTS`.
+
+* ``overflow-update`` — the packed dialect with repack-on-overflow
+  removed: an ``update`` whose value leaves int64 raises
+  ``OverflowError`` instead of demoting the buffer (the pre-fix
+  behaviour this PR repairs);
+* ``oob-read`` — the packed dialect with every *unchecked* read
+  shifted by one: a certificate-gated build returns wrong values (or
+  raises ``IndexError`` at the boundary) exactly where the solver
+  eliminated a check, the worst-case miscompile the certificate is
+  supposed to prevent.
+
+Both override :meth:`prelude` to shadow the healthy runtime helpers
+with local buggy definitions inside the generated module — the real
+helpers in :mod:`repro.compile.dialects.packed` stay intact.
+"""
+
+from __future__ import annotations
+
+from repro.compile.dialects.base import parens
+from repro.compile.dialects.packed import PackedDialect
+
+
+class OverflowUpdateFault(PackedDialect):
+    """Packed writes without the repack-on-overflow catch."""
+
+    name = "packed@overflow-update"
+    description = "packed minus repack-on-overflow (self-test fault)"
+
+    def prelude(self) -> str:
+        return (
+            "from repro.compile.dialects.packed import _mk_arr, _mk_tab\n"
+            "def _upd_pk(a, i, v):\n"
+            "    a.buf[i] = v\n"
+            "    return ()\n"
+            "def _updc_pk(a, i, v):\n"
+            "    if not 0 <= i < len(a.buf):\n"
+            "        _oob(i)\n"
+            "    a.buf[i] = v\n"
+            "    return ()\n"
+        )
+
+
+class OobReadFault(PackedDialect):
+    """Unchecked packed reads displaced by one element."""
+
+    name = "packed@oob-read"
+    description = "packed with off-by-one unchecked reads (self-test fault)"
+
+    def emit_read(self, array: str, index: str, checked: bool) -> str:
+        if checked:
+            return f"_subc({array}, {index})"
+        return f"{parens(array)}.buf[({index}) + 1]"
+
+
+FAULTS = {
+    "overflow-update": OverflowUpdateFault,
+    "oob-read": OobReadFault,
+}
+
+
+def get_fault(name: str):
+    """Instantiate a fault dialect by key (KeyError on unknown)."""
+    return FAULTS[name]()

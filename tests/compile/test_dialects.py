@@ -26,7 +26,8 @@ from repro.compile.dialects import (
     dialect_summary,
     get_dialect,
 )
-from repro.compile.dialects.packed import PackedDialect
+from repro.compile.dialects.buffers import Buf
+from repro.compile.dialects.packed import PackedDialect, _mk_arr, _mk_tab
 from repro.compile.dialects.plain import PlainDialect
 from repro.compile.elim import plan_elimination
 from repro.compile.pycodegen import compile_program
@@ -141,7 +142,8 @@ class TestPackedValues:
     def test_int_list_roundtrip(self):
         d = get_dialect("packed")
         packed = d.adapt_value([1, 2, 3])
-        assert isinstance(packed, pyarray)
+        assert isinstance(packed, Buf)
+        assert isinstance(packed.buf, pyarray)
         assert d.extract_value(packed) == [1, 2, 3]
 
     def test_nested_and_mixed_structures(self):
@@ -153,8 +155,13 @@ class TestPackedValues:
     def test_non_int64_values_stay_plain_lists(self):
         d = get_dialect("packed")
         huge = [2 ** 70, 1]
-        assert d.adapt_value(huge) == huge  # unpackable, untouched
-        assert d.adapt_value([True, False]) == [True, False]  # bools excluded
+        adapted = d.adapt_value(huge)
+        assert isinstance(adapted, Buf)
+        assert type(adapted.buf) is list  # unpackable, unpacked cell
+        assert d.extract_value(adapted) == huge
+        bools = d.adapt_value([True, False])  # bools excluded
+        assert type(bools.buf) is list
+        assert d.extract_value(bools) == [True, False]
 
     def test_long_cons_spine_does_not_recurse(self):
         # DML lists are cons pairs shared across dialects; the walker
@@ -217,6 +224,101 @@ class TestErrorParity:
             assert module.call("pick", (lst, 1)) == 2
             with pytest.raises(TagError):
                 module.call("pick", (lst, 5))
+
+
+# -- int64-edge parity (regressions found by the differential fuzzer) --------
+
+
+#: Packs at construction (small ints), then updates an out-of-int64
+#: value: pre-fix, packed/numpy raised OverflowError where plain
+#: stored the bignum.
+OVERFLOW = (
+    "fun main(u) = let\n"
+    "  val a0 = array(3, 1)\n"
+    "  val _ = update(a0, 1, 4611686018427387904 * 4)\n"
+    "in sub(a0, 1) end\n"
+    "where main <| int -> int\n"
+)
+
+#: Every element fits int64, but their sum does not: pre-fix, numpy's
+#: np.int64 scalars leaked into generated arithmetic and wrapped.
+WRAP = (
+    "fun main(u) = let\n"
+    "  val a0 = array(4, 4611686018427387904)\n"
+    "in sub(a0, 0) + sub(a0, 1) + sub(a0, 2) end\n"
+    "where main <| int -> int\n"
+)
+
+
+def _run_main(source: str, dialect: str):
+    report = api.check(source, "edge.dml")
+    plan = plan_elimination(report, dialect)
+    module = compile_program(report.program, report.env, plan.unchecked,
+                             "edge", dialect=dialect)
+    return module.run("main", 0)
+
+
+class TestInt64EdgeParity:
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_update_overflow_repacks_to_bignum(self, dialect):
+        assert _run_main(OVERFLOW, dialect) == 4611686018427387904 * 4
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_reads_promote_to_bignum_arithmetic(self, dialect):
+        assert _run_main(WRAP, dialect) == 3 * 4611686018427387904
+
+    def test_packed_repack_preserves_aliases(self):
+        d = get_dialect("packed")
+        buf = d.adapt_value([1, 2, 3])
+        alias = buf
+        buf[1] = 2 ** 64  # repack-on-overflow demotes the shared cell
+        assert type(buf.buf) is list
+        assert alias[1] == 2 ** 64
+        assert d.extract_value(alias) == [1, 2 ** 64, 3]
+
+    def test_checked_packed_write_still_bounds_checks(self):
+        from repro.compile.dialects.packed import _updc_pk
+        from repro.lang.errors import BoundsError
+
+        buf = get_dialect("packed").adapt_value([1, 2, 3])
+        with pytest.raises(BoundsError):
+            _updc_pk(buf, 3, 9)
+        with pytest.raises(BoundsError):
+            _updc_pk(buf, -1, 9)
+
+    @pytest.mark.skipif("numpy" not in DIALECTS, reason="numpy unavailable")
+    def test_numpy_repack_on_overflow(self):
+        d = get_dialect("numpy")
+        buf = d.adapt_value([1, 2, 3])
+        buf[0] = -(2 ** 70)
+        assert type(buf.buf) is list
+        # The demoted elements are Python ints, not np.int64 scalars.
+        assert all(type(x) is int for x in buf.buf)
+        assert d.extract_value(buf) == [-(2 ** 70), 2, 3]
+
+
+class TestEmptyArrayRepresentation:
+    def test_packed_constructors_agree_on_empty(self):
+        made, tabulated = _mk_arr(0, 5), _mk_tab(0, lambda i: i)
+        assert type(made) is type(tabulated)
+        assert type(made.buf) is type(tabulated.buf) is list
+        assert made == tabulated
+
+    @pytest.mark.skipif("numpy" not in DIALECTS, reason="numpy unavailable")
+    def test_numpy_constructors_agree_on_empty(self):
+        from repro.compile.dialects.numpy_backend import _np_mk, _np_tab
+
+        made, tabulated = _np_mk(0, 5), _np_tab(0, lambda i: i)
+        assert type(made) is type(tabulated)
+        assert type(made.buf) is type(tabulated.buf) is list
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_empty_extracts_identically(self, dialect):
+        source = (
+            "fun main(u) = array(0, 7)\n"
+            "where main <| int -> int array(0)\n"
+        )
+        assert _run_main(source, dialect) == []
 
 
 # -- differential execution (the CI backstop) --------------------------------
