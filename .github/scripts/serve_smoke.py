@@ -1,14 +1,17 @@
 """CI smoke: the `repro serve` daemon answers like `repro check`.
 
-Launches the real CLI daemon as a subprocess, then:
+Launches the real CLI daemon as a subprocess — once per executor
+(``--executor thread``, then ``--executor process`` where the fork
+start method exists) — and for each:
 
 1. runs a cold/warm request pair per probe program and diffs both
    against the sequential ``api.check`` verdicts (the same triples
    ``repro check`` renders);
-2. runs one ``/check-batch`` over the whole corpus and diffs every
-   result;
+2. runs one buffered ``/check-batch`` over the whole corpus and one
+   *streamed* (chunked NDJSON) batch, and diffs every result;
 3. exercises admission control (negative budget -> HTTP 400) and the
-   telemetry endpoints;
+   telemetry endpoints (executor, latency quantiles, per-worker rows,
+   zero respawns on a clean run);
 4. shuts the daemon down and fails on a nonzero exit code.
 
 Exit status is nonzero on any verdict drift or protocol failure.
@@ -16,6 +19,7 @@ Exit status is nonzero on any verdict drift or protocol failure.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import re
 import signal
@@ -42,7 +46,7 @@ def reference_verdicts(name: str) -> list[list]:
     return [[r.goal.origin, r.proved, r.reason] for r in report.goal_results]
 
 
-def launch(cache_dir: str) -> tuple[subprocess.Popen, int]:
+def launch(cache_dir: str, executor: str) -> tuple[subprocess.Popen, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
     env["PYTHONUNBUFFERED"] = "1"
@@ -50,6 +54,7 @@ def launch(cache_dir: str) -> tuple[subprocess.Popen, int]:
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--port", "0", "--cache-dir", cache_dir,
+            "--executor", executor,
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -65,17 +70,23 @@ def launch(cache_dir: str) -> tuple[subprocess.Popen, int]:
         if match:
             return proc, int(match.group(1))
     proc.kill()
-    fail("daemon never reported a listening port")
+    fail(f"{executor} daemon never reported a listening port")
     raise AssertionError  # unreachable
 
 
-def main() -> int:
+def smoke(executor: str) -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        proc, port = launch(os.path.join(tmp, "serve-cache"))
+        proc, port = launch(os.path.join(tmp, "serve-cache"), executor)
         client = ServeClient(port)
         try:
-            if client.healthz().get("status") != "ok":
-                fail("healthz not ok")
+            health = client.healthz()
+            if health.get("status") != "ok":
+                fail(f"[{executor}] healthz not ok")
+            if health.get("executor") != executor:
+                fail(
+                    f"[{executor}] healthz reports executor "
+                    f"{health.get('executor')!r}"
+                )
 
             for name in PROBES:
                 expected = reference_verdicts(name)
@@ -88,9 +99,13 @@ def main() -> int:
                 warm_ms = (time.perf_counter() - started) * 1000
                 for label, answer in (("cold", cold), ("warm", warm)):
                     if answer["verdicts"] != expected:
-                        fail(f"{label} /check verdict drift on {name}")
+                        fail(
+                            f"[{executor}] {label} /check verdict drift "
+                            f"on {name}"
+                        )
                 print(
-                    f"ok {name}: cold {cold_ms:.1f} ms, warm {warm_ms:.1f} ms"
+                    f"ok [{executor}] {name}: cold {cold_ms:.1f} ms, "
+                    f"warm {warm_ms:.1f} ms"
                 )
 
             payloads = [
@@ -99,26 +114,62 @@ def main() -> int:
                 )
                 for name in programs.available()
             ]
-            for result in client.check_batch(payloads):
-                name = result["name"].removesuffix(".dml")
-                if result["verdicts"] != reference_verdicts(name):
-                    fail(f"/check-batch verdict drift on {name}")
-            print(f"ok batch: {len(payloads)} programs, no drift")
+            for label, stream in (("batch", False), ("streamed batch", True)):
+                for result in client.check_batch(payloads, stream=stream):
+                    name = result["name"].removesuffix(".dml")
+                    if result["verdicts"] != reference_verdicts(name):
+                        fail(
+                            f"[{executor}] {label} verdict drift on {name}"
+                        )
+                print(
+                    f"ok [{executor}] {label}: {len(payloads)} programs, "
+                    "no drift"
+                )
 
             try:
                 client.check("fun f x = x\n", budget=-1)
-                fail("negative budget was not rejected")
+                fail(f"[{executor}] negative budget was not rejected")
             except ServeError as exc:
                 if exc.status != 400:
-                    fail(f"negative budget: expected 400, got {exc.status}")
-            print("ok admission: negative budget -> 400")
+                    fail(
+                        f"[{executor}] negative budget: expected 400, "
+                        f"got {exc.status}"
+                    )
+            print(f"ok [{executor}] admission: negative budget -> 400")
 
             stats = client.stats()
-            if stats["checks"] < 2 * len(PROBES) + len(payloads):
-                fail(f"stats undercounts checks: {stats['checks']}")
+            if stats["executor"] != executor:
+                fail(
+                    f"[{executor}] stats reports executor "
+                    f"{stats['executor']!r}"
+                )
+            if stats["checks"] < 2 * len(PROBES) + 2 * len(payloads):
+                fail(
+                    f"[{executor}] stats undercounts checks: "
+                    f"{stats['checks']}"
+                )
+            if stats["respawns"] != 0:
+                fail(
+                    f"[{executor}] {stats['respawns']} worker respawn(s) "
+                    "on a clean run"
+                )
+            if not stats["workers"]:
+                fail(f"[{executor}] stats has no worker rows")
+            if executor == "process":
+                foreign = [
+                    row for row in stats["workers"]
+                    if row["pid"] == proc.pid
+                ]
+                if foreign:
+                    fail("process workers share the daemon's pid")
+            latency = stats["latency"]
+            if not latency["p50_ms"] or latency["p95_ms"] < latency["p50_ms"]:
+                fail(f"[{executor}] latency quantiles inconsistent: {latency}")
             print(
-                f"ok stats: {stats['checks']} checks, "
-                f"{stats['solver']['queries']} solver queries, "
+                f"ok [{executor}] stats: {stats['checks']} checks, "
+                f"{len(stats['workers'])} worker(s), "
+                f"p50 {latency['p50_ms']:.1f} ms / "
+                f"p95 {latency['p95_ms']:.1f} ms, "
                 f"{stats['cache']['hits']} cache hits"
             )
         finally:
@@ -127,11 +178,21 @@ def main() -> int:
                 code = proc.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 proc.kill()
-                fail("daemon did not exit on SIGINT")
+                fail(f"[{executor}] daemon did not exit on SIGINT")
         if code != 0:
-            fail(f"daemon exited with {code}")
-        print("ok shutdown: exit 0")
-    print("serve smoke passed")
+            fail(f"[{executor}] daemon exited with {code}")
+        print(f"ok [{executor}] shutdown: exit 0")
+
+
+def main() -> int:
+    executors = ["thread"]
+    if "fork" in multiprocessing.get_all_start_methods():
+        executors.append("process")
+    else:
+        print("fork unavailable: process executor skipped", file=sys.stderr)
+    for executor in executors:
+        smoke(executor)
+    print(f"serve smoke passed ({', '.join(executors)})")
     return 0
 
 

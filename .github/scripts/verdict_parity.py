@@ -23,6 +23,13 @@ and warm hit rates all match between ``--store sqlite`` and
 goals in the mix by construction) driven through ``check-corpus
 --dir`` must produce byte-identical verdicts at jobs=1, jobs=4, and
 under the process executor.
+
+``--serve-executor-parity`` checks the daemon's executor promise
+(ISSUE 10): a ``repro serve`` daemon under ``--executor thread`` and
+one under ``--executor process`` (pre-forked warm workers) answer
+``/check``, buffered ``/check-batch``, and streamed NDJSON
+``/check-batch`` with verdicts byte-identical to sequential
+``api.check`` over the whole bundled corpus.
 """
 
 from __future__ import annotations
@@ -158,6 +165,84 @@ def fuzz_corpus_parity() -> int:
     return 0
 
 
+def serve_executor_parity() -> int:
+    from repro import api, programs
+    from repro.server.app import ServeDaemon
+    from repro.server.client import ServeClient
+    from repro.server.sessions import CheckService, ServerConfig
+    from repro.server.workers import fork_available
+
+    names = programs.available()
+    reference = {}
+    for name in names:
+        report = api.check(programs.load_source(name), f"{name}.dml")
+        reference[name] = [
+            [r.goal.origin, r.proved, r.reason] for r in report.goal_results
+        ]
+    payloads = [
+        ServeClient.request_payload(programs.load_source(name), f"{name}.dml")
+        for name in names
+    ]
+
+    executors = ["thread"]
+    if fork_available():
+        executors.append("process")
+    else:
+        print("fork unavailable: process executor skipped", file=sys.stderr)
+
+    for executor in executors:
+        service = CheckService(
+            ServerConfig(cache_dir=None, executor=executor, jobs=2)
+        )
+        daemon = ServeDaemon(service, port=0).start_in_thread()
+        try:
+            client = ServeClient(daemon.port)
+            for name in names:
+                answer = client.check(
+                    programs.load_source(name), f"{name}.dml"
+                )
+                if answer["verdicts"] != reference[name]:
+                    print(
+                        f"{executor} /check verdict drift on {name}",
+                        file=sys.stderr,
+                    )
+                    return 1
+            for label, stream in (("buffered", False), ("streamed", True)):
+                results = client.check_batch(payloads, stream=stream)
+                for name, result in zip(names, results):
+                    if result["verdicts"] != reference[name]:
+                        print(
+                            f"{executor} {label} /check-batch verdict "
+                            f"drift on {name}",
+                            file=sys.stderr,
+                        )
+                        return 1
+            stats = client.stats()
+            if stats["executor"] != executor:
+                print(
+                    f"stats reports executor {stats['executor']!r}, "
+                    f"expected {executor!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            if stats["respawns"] != 0:
+                print(
+                    f"{executor} daemon respawned {stats['respawns']} "
+                    "worker(s) during a clean corpus run",
+                    file=sys.stderr,
+                )
+                return 1
+        finally:
+            daemon.stop()
+
+    print(
+        f"serve executor parity ok: {len(names)} programs x "
+        f"{{{', '.join(executors)}}}, /check + buffered + streamed "
+        "batches all match api.check"
+    )
+    return 0
+
+
 def main() -> int:
     if "--slice-parity" in sys.argv[1:]:
         return slice_parity()
@@ -165,6 +250,8 @@ def main() -> int:
         return store_parity()
     if "--fuzz-corpus" in sys.argv[1:]:
         return fuzz_corpus_parity()
+    if "--serve-executor-parity" in sys.argv[1:]:
+        return serve_executor_parity()
     with tempfile.TemporaryDirectory(prefix="repro-parity") as tmp:
         cold = driver.check_corpus(jobs=1, cache_dir=tmp, clear=True)
         warm = driver.check_corpus(jobs=1, cache_dir=tmp)

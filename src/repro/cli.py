@@ -525,8 +525,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         caps=caps,
         slice_goals=not args.no_slice,
+        executor=args.executor,
+        worker_timeout=args.worker_timeout if args.worker_timeout > 0 else None,
     )
-    daemon = ServeDaemon(CheckService(config), host=args.host, port=args.port)
+    daemon = ServeDaemon(
+        CheckService(config),
+        host=args.host,
+        port=args.port,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+    )
     return daemon.run()
 
 
@@ -771,8 +778,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="listen port (default: 8972; 0 = pick a "
                               "free one)")
     p_serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
-                         help="worker threads answering requests "
-                              "(default: CPU count)")
+                         help="checking workers (default: CPU count)")
+    p_serve.add_argument("--executor", choices=["thread", "process"],
+                         default="thread",
+                         help="worker model: 'thread' shares one "
+                              "interpreter (GIL-bound); 'process' "
+                              "pre-forks warm workers after prelude/"
+                              "cache warm-up, so /check-batch "
+                              "throughput scales with cores")
+    p_serve.add_argument("--worker-timeout", type=_timeout_seconds,
+                         default=0.0, metavar="SECONDS",
+                         help="process executor: kill and respawn a "
+                              "worker that spends longer than this on "
+                              "one request (default: 0 = never)")
+    p_serve.add_argument("--idle-timeout", type=_timeout_seconds,
+                         default=75.0, metavar="SECONDS",
+                         help="close keep-alive connections idle this "
+                              "long (default: 75; 0 = never)")
     p_serve.add_argument("--backend", default="fourier",
                          choices=backend_names(),
                          help="default solver backend for requests that "

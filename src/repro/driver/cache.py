@@ -235,6 +235,23 @@ class DiskCache(VerdictStore):
                 count += 1
         return count
 
+    def refresh(self, cache: SolverCache) -> int:
+        """Re-seed from the *file* (not this process's in-memory view):
+        the JSON backend has no row granularity, so picking up another
+        process's saved verdicts means re-reading the whole blob.
+        Corrupt or missing files install nothing — the in-memory state
+        and ``corrupt`` flag are left untouched."""
+        with self._file_lock():
+            solver, _decls, _dh, _sh, existed, trusted = self._read_disk()
+        if not existed or not trusted:
+            return 0
+        count = 0
+        for backend, entries in solver.items():
+            for text, verdict in entries.items():
+                cache.preload(backend, decode_key(text), verdict)
+                count += 1
+        return count
+
     def absorb(self, cache: SolverCache) -> int:
         """Fold an in-memory solver cache's verdicts into the store;
         returns how many entries are new.  Pre-existing entries the

@@ -108,6 +108,16 @@ class VerdictStore(ABC):
         answered queries from (``cache.hit_keys()``) bump the
         persistent per-key hit count."""
 
+    def refresh(self, cache: SolverCache) -> int:
+        """Re-seed ``cache`` with solver verdicts that landed in the
+        persistent store since open (or since the last refresh) —
+        typically another process's :meth:`absorb`.  The serve daemon's
+        process-executor parent calls this periodically so workers
+        respawned later fork from a view that includes verdicts their
+        siblings already persisted.  Returns how many entries were
+        installed.  Default: a full re-seed; backends may do better."""
+        return self.seed(cache)
+
     # -- declaration layer ----------------------------------------------
 
     @abstractmethod
@@ -209,6 +219,9 @@ class SqliteVerdictStore(VerdictStore):
         self.migrated_decls = 0
         #: decl key -> hits observed this process, not yet flushed.
         self._decl_hit_delta: dict[str, int] = {}
+        #: Highest solver rowid already seeded into a cache; rows above
+        #: it are what :meth:`refresh` picks up incrementally.
+        self._seed_rowid = 0
         self.root.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists()
         self._conn = self._open()
@@ -327,10 +340,33 @@ class SqliteVerdictStore(VerdictStore):
     def seed(self, cache: SolverCache) -> int:
         with self._lock:
             rows = self._conn.execute(
-                "SELECT backend, key, verdict FROM solver"
+                "SELECT rowid, backend, key, verdict FROM solver"
             ).fetchall()
+            if rows:
+                self._seed_rowid = max(row[0] for row in rows)
+        return self._preload_rows(cache, rows)
+
+    def refresh(self, cache: SolverCache) -> int:
+        """Incremental re-seed: only rows another writer appended since
+        the last :meth:`seed`/:meth:`refresh` (tracked by a rowid
+        watermark — ``INSERT OR IGNORE`` never rewrites existing rows,
+        so new rowids are exactly the new verdicts)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT rowid, backend, key, verdict FROM solver"
+                " WHERE rowid > ?",
+                (self._seed_rowid,),
+            ).fetchall()
+            if rows:
+                self._seed_rowid = max(
+                    self._seed_rowid, max(row[0] for row in rows)
+                )
+        return self._preload_rows(cache, rows)
+
+    @staticmethod
+    def _preload_rows(cache: SolverCache, rows: list) -> int:
         count = 0
-        for backend, text, verdict in rows:
+        for _rowid, backend, text, verdict in rows:
             try:
                 key = decode_key(text)
             except ValueError:
@@ -448,6 +484,7 @@ class SqliteVerdictStore(VerdictStore):
             self.migrated_solver = 0
             self.migrated_decls = 0
             self._decl_hit_delta.clear()
+            self._seed_rowid = 0
 
     def close(self) -> None:
         self.save()

@@ -2,16 +2,33 @@
 
 Used by the tests, the CI serve-smoke job, and
 ``benchmarks/bench_serve.py``; kept dependency-free on
-:mod:`http.client` so it runs wherever the daemon does.  One
-connection per request, matching the daemon's connection-per-request
-protocol.
+:mod:`http.client` so it runs wherever the daemon does.
+
+One **persistent connection per client** (the daemon speaks HTTP/1.1
+keep-alive): the TCP handshake is paid once, then every request rides
+the same socket.  Reconnection is transparent — if the server closed
+the connection (idle timeout, restart), the request is retried once on
+a fresh socket; checking is pure, so the blind retry is safe.
+Instances are not thread-safe; give each client thread its own
+``ServeClient`` (connections are cheap — that's the point).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any
+from typing import Any, Iterator
+
+#: Connection-level failures worth one transparent retry on a fresh
+#: socket: the server closed a kept-alive connection between requests.
+_RETRYABLE = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ImproperConnectionState,
+    ConnectionError,
+    BrokenPipeError,
+    OSError,
+)
 
 
 class ServeError(RuntimeError):
@@ -26,7 +43,8 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk to one ``repro serve`` daemon."""
+    """Talk to one ``repro serve`` daemon over one kept-alive
+    connection."""
 
     def __init__(
         self, port: int, host: str = "127.0.0.1", timeout: float = 120.0
@@ -34,30 +52,69 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- connection management ---------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the persistent connection (a later request reconnects)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+    ) -> http.client.HTTPResponse:
+        """One request on the persistent connection, with a single
+        transparent retry on a server-closed socket."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except _RETRYABLE:
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _finish(self, response: http.client.HTTPResponse) -> None:
+        """Body fully read: keep the connection unless the server
+        asked to close."""
+        if response.will_close:
+            self.close()
 
     def _request(
         self, method: str, path: str, payload: dict | None = None
     ) -> dict:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
         )
-        try:
-            body = (
-                json.dumps(payload).encode("utf-8")
-                if payload is not None
-                else None
-            )
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
-            response = conn.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            conn.close()
+        response = self._send(
+            method, path, body, {"Content-Type": "application/json"}
+        )
+        raw = response.read()
+        status = response.status
+        self._finish(response)
         decoded = json.loads(raw) if raw else {}
         if status >= 400:
             raise ServeError(status, decoded)
@@ -91,14 +148,68 @@ class ServeClient:
             )
         )
 
-    def check_batch(self, programs: list[dict]) -> list[dict]:
+    def check_batch(
+        self, programs: list[dict], stream: bool = False
+    ) -> list[dict]:
         """``POST /check-batch`` over prebuilt request payloads (see
         :meth:`request_payload`); returns the per-program results in
-        request order."""
+        request order.  ``stream=True`` consumes the chunked NDJSON
+        response (:meth:`iter_batch`) and reorders — same shape, but
+        the daemon starts answering before the slowest item finishes.
+        """
+        if stream:
+            slots: list[dict | None] = [None] * len(programs)
+            for result in self.iter_batch(programs):
+                slots[result.pop("index")] = result
+            missing = [i for i, slot in enumerate(slots) if slot is None]
+            if missing:
+                raise ServeError(
+                    500,
+                    {"error": f"stream ended without item(s) {missing}"},
+                )
+            return slots  # type: ignore[return-value]
         answer = self._request(
             "POST", "/check-batch", {"programs": programs}
         )
         return answer["results"]
+
+    def iter_batch(self, programs: list[dict]) -> Iterator[dict]:
+        """Stream ``/check-batch``: yields per-item results in
+        *completion* order as the daemon's workers finish, each dict
+        carrying the ``index`` of its request.  Abandoning the
+        iterator mid-stream drops the connection (unread chunks can't
+        be skipped)."""
+        body = json.dumps({"programs": programs}).encode("utf-8")
+        response = self._send(
+            "POST",
+            "/check-batch",
+            body,
+            {
+                "Content-Type": "application/json",
+                "Accept": "application/x-ndjson",
+            },
+        )
+        if response.status >= 400:
+            raw = response.read()
+            self._finish(response)
+            raise ServeError(
+                response.status, json.loads(raw) if raw else {}
+            )
+        complete = False
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+            complete = True
+        finally:
+            if complete:
+                self._finish(response)
+            else:  # abandoned mid-stream: the socket has unread chunks
+                self.close()
 
     @staticmethod
     def request_payload(

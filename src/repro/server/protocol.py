@@ -36,6 +36,22 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Largest accepted ``/check-batch`` fan-out.
 MAX_BATCH = 256
 
+#: ``Accept`` this on ``/check-batch`` to get chunked per-item results
+#: (one JSON object per line, each carrying its request ``index``) as
+#: workers finish, instead of one buffered ``{"results": [...]}``.
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+
+def stream_requested(accept: str | None) -> bool:
+    """Whether a request's ``Accept`` header opts into NDJSON
+    streaming (exact media type, parameters ignored)."""
+    if not accept:
+        return False
+    return any(
+        part.strip().split(";", 1)[0].lower() == NDJSON_CONTENT_TYPE
+        for part in accept.split(",")
+    )
+
 
 class ProtocolError(ValueError):
     """A malformed or inadmissible request; ``status`` is the HTTP

@@ -1,0 +1,211 @@
+"""HTTP/1.1 keep-alive conformance, straight over a socket.
+
+The daemon promises (DESIGN.md §9): connections persist across
+requests by default; ``Connection: close`` and HTTP/1.0-without-
+keep-alive are honored with an EOF after the response; an idle
+connection is reaped after ``--idle-timeout``; and a malformed
+request head — whose body framing can't be trusted — is answered
+and closed.  These tests speak raw HTTP so the client library can't
+paper over any of it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.server.app import ServeDaemon
+from repro.server.sessions import CheckService, ServerConfig
+from tests.server.test_serve import GOOD
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    service = CheckService(ServerConfig(cache_dir=None))
+    instance = ServeDaemon(service, port=0).start_in_thread()
+    yield instance
+    instance.stop()
+
+
+def connect(daemon) -> tuple[socket.socket, "socket.SocketIO"]:
+    sock = socket.create_connection(("127.0.0.1", daemon.port), timeout=30)
+    return sock, sock.makefile("rb")
+
+
+def request_bytes(
+    target: str,
+    *,
+    method: str = "GET",
+    version: str = "HTTP/1.1",
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    head = [f"{method} {target} {version}"]
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    for key, value in (headers or {}).items():
+        head.append(f"{key}: {value}")
+    return "\r\n".join(head).encode() + b"\r\n\r\n" + body
+
+
+def check_body() -> bytes:
+    return json.dumps({"source": GOOD, "name": "ka.dml"}).encode()
+
+
+def read_response(fp) -> tuple[int, dict[str, str], bytes] | None:
+    """One response off the wire: ``(status, headers, body)``, or
+    ``None`` on EOF (the server closed the connection)."""
+    status_line = fp.readline()
+    if not status_line:
+        return None
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = fp.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    body = fp.read(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+class TestKeepAlive:
+    def test_sequential_requests_share_one_connection(self, daemon):
+        """Three requests (two checks, one health probe), one socket:
+        every response is complete, marked keep-alive, and followed by
+        the next answer rather than an EOF."""
+        sock, fp = connect(daemon)
+        try:
+            for target, method, body in [
+                ("/check", "POST", check_body()),
+                ("/healthz", "GET", b""),
+                ("/check", "POST", check_body()),
+            ]:
+                sock.sendall(request_bytes(target, method=method, body=body))
+                answer = read_response(fp)
+                assert answer is not None, "server closed a live connection"
+                status, headers, payload = answer
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert json.loads(payload)
+        finally:
+            sock.close()
+
+    def test_pipelined_requests_are_answered_in_order(self, daemon):
+        """Both requests written before either response is read; the
+        daemon answers them back-to-back on the same socket."""
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(
+                request_bytes("/check", method="POST", body=check_body())
+                + request_bytes("/healthz")
+            )
+            first = read_response(fp)
+            second = read_response(fp)
+            assert first is not None and first[0] == 200
+            assert second is not None and second[0] == 200
+            assert json.loads(second[2])["status"] == "ok"
+        finally:
+            sock.close()
+
+    def test_connection_close_is_honored(self, daemon):
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(
+                request_bytes("/healthz", headers={"Connection": "close"})
+            )
+            status, headers, _ = read_response(fp)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert fp.readline() == b""  # EOF: the server hung up
+        finally:
+            sock.close()
+
+    def test_http10_defaults_to_close(self, daemon):
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(request_bytes("/healthz", version="HTTP/1.0"))
+            status, headers, _ = read_response(fp)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert fp.readline() == b""
+        finally:
+            sock.close()
+
+    def test_http10_keep_alive_opts_in(self, daemon):
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(
+                request_bytes(
+                    "/healthz",
+                    version="HTTP/1.0",
+                    headers={"Connection": "keep-alive"},
+                )
+            )
+            status, headers, _ = read_response(fp)
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+            # Connection stays open: a second request still answers.
+            sock.sendall(request_bytes("/healthz"))
+            assert read_response(fp)[0] == 200
+        finally:
+            sock.close()
+
+    def test_error_responses_keep_the_connection(self, daemon):
+        """A 404 (body fully consumed, framing intact) must not cost
+        the connection."""
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(request_bytes("/nope"))
+            status, headers, _ = read_response(fp)
+            assert status == 404
+            assert headers["connection"] == "keep-alive"
+            sock.sendall(request_bytes("/healthz"))
+            assert read_response(fp)[0] == 200
+        finally:
+            sock.close()
+
+    def test_malformed_request_line_is_400_and_closes(self, daemon):
+        """Past a broken head the body framing can't be trusted:
+        answer and hang up."""
+        sock, fp = connect(daemon)
+        try:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            status, headers, _ = read_response(fp)
+            assert status == 400
+            assert headers["connection"] == "close"
+            assert fp.readline() == b""
+        finally:
+            sock.close()
+
+
+class TestIdleTimeout:
+    def test_idle_connection_is_reaped(self):
+        service = CheckService(ServerConfig(cache_dir=None))
+        daemon = ServeDaemon(
+            service, port=0, idle_timeout=0.5
+        ).start_in_thread()
+        try:
+            sock, fp = connect(daemon)
+            try:
+                sock.sendall(request_bytes("/healthz"))
+                assert read_response(fp)[0] == 200  # served, kept alive
+                started = time.monotonic()
+                assert read_response(fp) is None  # reaped while idle
+                elapsed = time.monotonic() - started
+                assert 0.2 <= elapsed <= 10.0
+            finally:
+                sock.close()
+            # A fresh connection is served normally afterwards.
+            sock, fp = connect(daemon)
+            try:
+                sock.sendall(request_bytes("/healthz"))
+                assert read_response(fp)[0] == 200
+            finally:
+                sock.close()
+        finally:
+            daemon.stop()

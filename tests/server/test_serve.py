@@ -16,6 +16,7 @@ The load-bearing claims (ISSUE 6 / DESIGN.md §9):
 from __future__ import annotations
 
 import json
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -219,6 +220,25 @@ class TestEndpoints:
         # advances batch_items by exactly 2.
         assert after["batch_items"] == before["batch_items"] + 2
 
+    def test_stats_reports_executor_latency_and_workers(self, client):
+        client.check(GOOD)
+        stats = client.stats()
+        assert stats["executor"] == "thread"
+        assert stats["respawns"] == 0
+        latency = stats["latency"]
+        assert latency["samples"] >= 1
+        assert latency["samples"] <= latency["window"]
+        assert latency["p50_ms"] > 0
+        assert latency["p95_ms"] >= latency["p50_ms"]
+        assert stats["workers"]
+        for row in stats["workers"]:
+            assert row["id"].startswith("repro-serve")
+            assert row["alive"] is True
+            assert row["respawns"] == 0
+            assert row["busy_seconds"] >= 0
+        # Thread rows partition the daemon's checks exactly.
+        assert sum(r["requests"] for r in stats["workers"]) == stats["checks"]
+
     def test_cacheless_daemon_reports_no_store(self, client):
         assert client.stats()["store"] is None
 
@@ -271,16 +291,22 @@ class TestConcurrency:
     #: keep the test quick, enough to actually interleave.
     PROGRAMS = ["dotprod", "bsearch", "reverse", "bcopy", "listaccess"]
 
-    def test_parallel_checks_match_sequential_api(self, client):
+    def test_parallel_checks_match_sequential_api(self, daemon):
         expected = {
             name: reference_verdicts(
                 programs.load_source(name), f"{name}.dml"
             )
             for name in self.PROGRAMS
         }
+        # One client (one persistent connection) per worker thread:
+        # connections are kept alive across requests, so sharing one
+        # client between threads is not supported.
+        local = threading.local()
 
         def hit(name: str) -> tuple[str, list]:
-            answer = client.check(
+            if not hasattr(local, "client"):
+                local.client = ServeClient(daemon.port)
+            answer = local.client.check(
                 programs.load_source(name), f"{name}.dml"
             )
             return name, answer["verdicts"]
